@@ -1,0 +1,162 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` regenerates every table and
+   figure-grade claim of the paper (experiments E1-E8 of DESIGN.md) plus
+   the A2-A5 ablations, and finishes with bechamel microbenchmarks of the
+   computational kernels. Pass section names to run a subset:
+
+     dune exec bench/main.exe -- table1 micro
+     dune exec bench/main.exe -- quick table1   # E1 with fewer patterns
+
+   One Bechamel test per paper table/figure measures the kernel that
+   produces it. *)
+
+let std = Format.std_formatter
+
+let quick = ref false
+
+let patterns () = if !quick then 65536 else Techmap.Estimate.default_patterns
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sections                                                 *)
+
+let run_libchar () =
+  Format.printf "@.#### E2/E4/E5/E6 — library characterization ####@.";
+  Experiments.Exp_libchar.print std (Experiments.Exp_libchar.run ())
+
+let run_patterns () =
+  Format.printf "@.#### E3/E8/A1 — I_off pattern classification ####@.";
+  Experiments.Exp_patterns.print std (Experiments.Exp_patterns.run ())
+
+let run_tgate () =
+  Format.printf "@.#### E7 — transmission gate (Fig. 2) ####@.";
+  Experiments.Exp_tgate.print std (Experiments.Exp_tgate.run ())
+
+let run_delay () =
+  Format.printf "@.#### E9 — intrinsic delay (transient analysis) ####@.";
+  Experiments.Exp_delay.print std (Experiments.Exp_delay.run ())
+
+let run_dynamic () =
+  Format.printf "@.#### E10 — dynamic / reconfigurable cells (extension) ####@.";
+  Experiments.Exp_dynamic.print std (Experiments.Exp_dynamic.run ())
+
+let run_seq () =
+  Format.printf "@.#### E12 — clocked CRC engine (extension) ####@.";
+  Experiments.Exp_seq.print std (Experiments.Exp_seq.run ())
+
+let run_pla () =
+  Format.printf "@.#### E11 — ambipolar PLAs (extension) ####@.";
+  Experiments.Exp_pla.print std (Experiments.Exp_pla.run ())
+
+let run_sensitivity () =
+  Format.printf "@.#### E13-E15 — operating point & variation sensitivity (extension) ####@.";
+  Experiments.Exp_sensitivity.print std (Experiments.Exp_sensitivity.run ())
+
+let run_table1 () =
+  Format.printf "@.#### E1 — Table 1 (%d random patterns) ####@." (patterns ());
+  Experiments.Exp_table1.print std (Experiments.Exp_table1.run ~patterns:(patterns ()) ())
+
+let run_ablations () =
+  Format.printf "@.#### A2-A5 — ablations ####@.";
+  Experiments.Ablations.print std ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let nor3 = Cell.Cells.find "NOR3" in
+  let classify =
+    Test.make ~name:"pattern-classify-NOR3"
+      (Staged.stage (fun () -> ignore (Power.Pattern.analyze nor3.Cell.Cells.ambipolar ~pins:3)))
+  in
+  let dc_solve =
+    Test.make ~name:"dc-solve-stack3"
+      (Staged.stage (fun () ->
+           Power.Leakage.clear_cache ();
+           ignore
+             (Power.Leakage.pattern_ioff Spice.Tech.cmos
+                (Power.Pattern.Series
+                   [ Power.Pattern.Unit 1; Power.Pattern.Unit 1; Power.Pattern.Unit 1 ]))))
+  in
+  let resyn =
+    let nl = Circuits.Multiplier.generate ~width:4 in
+    let aig = Aigs.Aig.of_netlist nl in
+    Test.make ~name:"resyn2rs-mult4" (Staged.stage (fun () -> ignore (Aigs.Opt.resyn2rs aig)))
+  in
+  let mapping =
+    let nl = Circuits.Multiplier.generate ~width:4 in
+    let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+    let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+    Test.make ~name:"map-mult4" (Staged.stage (fun () -> ignore (Techmap.Mapper.map ml aig)))
+  in
+  let simulate =
+    let nl = Circuits.Multiplier.generate ~width:8 in
+    let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+    let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+    let mapped = Techmap.Mapper.map ml aig in
+    Test.make ~name:"estimate-mult8-64k"
+      (Staged.stage (fun () -> ignore (Techmap.Estimate.run ~patterns:65536 mapped)))
+  in
+  [ classify; dc_solve; resyn; mapping; simulate ]
+
+let run_micro () =
+  Format.printf "@.#### Microbenchmarks (bechamel) ####@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results =
+        Analyze.all ols Instance.monotonic_clock (Benchmark.all cfg instances test)
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (ns :: _) ->
+              if ns > 1e6 then Format.printf "  %-28s %10.2f ms/run@." name (ns /. 1e6)
+              else Format.printf "  %-28s %10.1f ns/run@." name ns
+          | Some [] | None -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let sections =
+    [
+      ("libchar", run_libchar);
+      ("patterns", run_patterns);
+      ("tgate", run_tgate);
+      ("delay", run_delay);
+      ("dynamic", run_dynamic);
+      ("pla", run_pla);
+      ("seq", run_seq);
+      ("sensitivity", run_sensitivity);
+      ("table1", run_table1);
+      ("ablations", run_ablations);
+      ("micro", run_micro);
+    ]
+  in
+  let selected = if args = [] then List.map fst sections else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Format.printf "unknown section %s (have: %s)@." name
+            (String.concat ", " (List.map fst sections)))
+    selected

@@ -1,0 +1,158 @@
+(* cntpower — command-line driver for the ambipolar-CNTFET power study.
+
+   Subcommands map one-to-one onto the experiments of DESIGN.md:
+   table1, libchar, patterns, tgate, delay, dynamic, pla, seq, sensitivity,
+   ablations, synth, genlib, and `all`, which reproduces every table and
+   headline figure. *)
+
+let std = Format.std_formatter
+
+open Cmdliner
+
+let patterns_arg =
+  let doc = "Number of random simulation patterns for power estimation." in
+  Arg.(value & opt int Techmap.Estimate.default_patterns & info [ "p"; "patterns" ] ~doc)
+
+let circuit_arg =
+  let doc = "Benchmark circuit name (Table 1 row), e.g. C6288." in
+  Arg.(value & opt string "C6288" & info [ "c"; "circuit" ] ~doc)
+
+let run_table1 patterns only =
+  let circuits =
+    match only with
+    | [] -> Circuits.Suite.all
+    | names -> List.map Circuits.Suite.find names
+  in
+  let summary = Experiments.Exp_table1.run ~patterns ~circuits () in
+  Experiments.Exp_table1.print std summary
+
+let table1_cmd =
+  let only =
+    let doc = "Restrict to the given circuits (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "only" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (synthesis, mapping, power, EDP).")
+    Term.(const run_table1 $ patterns_arg $ only)
+
+let libchar_cmd =
+  Cmd.v
+    (Cmd.info "libchar"
+       ~doc:"Reproduce the library characterization (E2, E4, E5, E6).")
+    Term.(const (fun () -> Experiments.Exp_libchar.print std (Experiments.Exp_libchar.run ())) $ const ())
+
+let patterns_cmd =
+  Cmd.v
+    (Cmd.info "patterns" ~doc:"Reproduce the I_off pattern census (E3, E8, A1).")
+    Term.(const (fun () -> Experiments.Exp_patterns.print std (Experiments.Exp_patterns.run ())) $ const ())
+
+let tgate_cmd =
+  Cmd.v
+    (Cmd.info "tgate" ~doc:"Reproduce the transmission-gate transfer study (E7, Fig. 2).")
+    Term.(const (fun () -> Experiments.Exp_tgate.print std (Experiments.Exp_tgate.run ())) $ const ())
+
+let delay_cmd =
+  Cmd.v
+    (Cmd.info "delay"
+       ~doc:"Measure intrinsic inverter delays by transient analysis (E9).")
+    Term.(const (fun () -> Experiments.Exp_delay.print std (Experiments.Exp_delay.run ())) $ const ())
+
+let dynamic_cmd =
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:"Dynamic / reconfigurable ambipolar cells study (E10, extension).")
+    Term.(const (fun () -> Experiments.Exp_dynamic.print std (Experiments.Exp_dynamic.run ())) $ const ())
+
+let pla_cmd =
+  Cmd.v
+    (Cmd.info "pla"
+       ~doc:"In-field programmable ambipolar PLA study (E11, extension).")
+    Term.(const (fun () -> Experiments.Exp_pla.print std (Experiments.Exp_pla.run ())) $ const ())
+
+let seq_cmd =
+  Cmd.v
+    (Cmd.info "seq"
+       ~doc:"Clocked CRC engine with registers and clock tree (E12, extension).")
+    Term.(const (fun () -> Experiments.Exp_seq.print std (Experiments.Exp_seq.run ())) $ const ())
+
+let sensitivity_cmd =
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Supply/temperature/variation sensitivity studies (E13-E15, extension).")
+    Term.(const (fun () -> Experiments.Exp_sensitivity.print std (Experiments.Exp_sensitivity.run ())) $ const ())
+
+let ablations_cmd =
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the A2-A5 ablations on the multiplier.")
+    Term.(const (fun () -> Experiments.Ablations.print std ()) $ const ())
+
+let run_synth circuit patterns =
+  let entry = Circuits.Suite.find circuit in
+  let nl = entry.Circuits.Suite.generate () in
+  let aig = Aigs.Aig.of_netlist nl in
+  Format.fprintf std "%s (%s): %a@." entry.Circuits.Suite.name
+    entry.Circuits.Suite.description Aigs.Aig.pp_stats aig;
+  let opt = Aigs.Opt.resyn2rs aig in
+  Format.fprintf std "after resyn2rs: %a@." Aigs.Aig.pp_stats opt;
+  List.iter
+    (fun lib ->
+      let ml = Techmap.Matchlib.build lib in
+      let mapped = Techmap.Mapper.map ml opt in
+      let ok = Techmap.Mapped.check mapped nl ~patterns:512 ~seed:4L in
+      Format.fprintf std "@.%a (verified: %b)@." Techmap.Mapped.pp_stats mapped ok;
+      List.iter
+        (fun (name, count) -> Format.fprintf std "  %-10s x%d@." name count)
+        (Techmap.Mapped.gate_histogram mapped);
+      let report = Techmap.Estimate.run ~patterns mapped in
+      Format.fprintf std "  %a@." Techmap.Estimate.pp_report report;
+      let sta = Techmap.Sta.analyze mapped in
+      Format.fprintf std "  %a@." Techmap.Sta.pp_report sta)
+    Cell.Genlib.all_libraries
+
+let synth_cmd =
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize and map one benchmark with all three libraries, with details.")
+    Term.(const run_synth $ circuit_arg $ patterns_arg)
+
+let genlib_cmd =
+  let run () =
+    List.iter
+      (fun lib ->
+        Format.fprintf std "# %a@.%s@." Cell.Genlib.pp_summary lib
+          (Cell.Genlib.to_genlib_string lib))
+      Cell.Genlib.all_libraries
+  in
+  Cmd.v
+    (Cmd.info "genlib" ~doc:"Dump the three mapping libraries in genlib syntax.")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run patterns =
+    Experiments.Exp_libchar.print std (Experiments.Exp_libchar.run ());
+    Experiments.Exp_patterns.print std (Experiments.Exp_patterns.run ());
+    Experiments.Exp_tgate.print std (Experiments.Exp_tgate.run ());
+    Experiments.Exp_delay.print std (Experiments.Exp_delay.run ());
+    Experiments.Exp_dynamic.print std (Experiments.Exp_dynamic.run ());
+    Experiments.Exp_pla.print std (Experiments.Exp_pla.run ());
+    Experiments.Exp_seq.print std (Experiments.Exp_seq.run ());
+    Experiments.Exp_sensitivity.print std (Experiments.Exp_sensitivity.run ());
+    run_table1 patterns [];
+    Experiments.Ablations.print std ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (E1-E8 and the ablations).")
+    Term.(const run $ patterns_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "cntpower" ~version:"1.0.0"
+       ~doc:
+         "Power consumption of logic circuits in ambipolar carbon nanotube \
+          technology (DATE 2010) - reproduction harness.")
+    [
+      table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
+      pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/crc_pipeline.ml: Array Cell Circuits Format Int32 List Logic Nets Techmap

@@ -1,0 +1,1 @@
+examples/crc_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/custom_gate.ml: Aigs Array Cell Char Format Logic Power Spice String Techmap

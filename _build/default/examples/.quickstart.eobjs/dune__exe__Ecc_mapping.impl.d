@@ -1,0 +1,1 @@
+examples/ecc_mapping.ml: Aigs Array Cell Circuits Format List Nets Techmap

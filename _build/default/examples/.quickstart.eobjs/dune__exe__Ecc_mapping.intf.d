@@ -1,0 +1,1 @@
+examples/ecc_mapping.mli:

@@ -1,0 +1,1 @@
+examples/multiplier_power.ml: Aigs Cell Circuits Format List Techmap

@@ -1,0 +1,1 @@
+examples/pla_reconfig.ml: Array Cell Circuits Format Hashtbl Logic Nets Pla

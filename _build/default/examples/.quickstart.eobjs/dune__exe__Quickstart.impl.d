@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aigs Cell Circuits Format List Nets Power Techmap

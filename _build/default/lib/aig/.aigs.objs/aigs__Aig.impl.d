@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Format Hashtbl Lazy List Logic Nets

@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Aig Array Buffer Hashtbl List Printf String

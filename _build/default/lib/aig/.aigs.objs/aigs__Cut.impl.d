@@ -1,0 +1,1 @@
+lib/aig/cut.ml: Aig Array Hashtbl Int List Set

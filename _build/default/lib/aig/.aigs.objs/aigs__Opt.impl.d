@@ -1,0 +1,1 @@
+lib/aig/opt.ml: Aig Array Cut List Logic Option

@@ -1,0 +1,1 @@
+lib/aig/opt.mli: Aig

@@ -1,0 +1,125 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Our internal literals already use the AIGER convention (2*node + compl)
+   with inputs numbered 1..I in creation order, so translation is direct as
+   long as AND nodes stay contiguous after the inputs — which Aig
+   guarantees. *)
+
+let write_string aig =
+  let buf = Buffer.create 4096 in
+  let num_inputs = Aig.num_inputs aig in
+  let num_ands = Aig.num_ands aig in
+  let outputs = Aig.outputs aig in
+  let maxvar = Aig.num_nodes aig - 1 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" maxvar num_inputs (Array.length outputs) num_ands);
+  for i = 1 to num_inputs do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * i))
+  done;
+  Array.iter (fun (_, lit) -> Buffer.add_string buf (Printf.sprintf "%d\n" lit)) outputs;
+  for node = num_inputs + 1 to Aig.num_nodes aig - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %d\n" (2 * node) (Aig.fanin0 aig node) (Aig.fanin1 aig node))
+  done;
+  for i = 1 to num_inputs do
+    Buffer.add_string buf (Printf.sprintf "i%d %s\n" (i - 1) (Aig.input_name aig i))
+  done;
+  Array.iteri
+    (fun o (name, _) -> Buffer.add_string buf (Printf.sprintf "o%d %s\n" o name))
+    outputs;
+  Buffer.contents buf
+
+let read_string text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> fail "empty AIGER file"
+  | header :: rest -> (
+      let ints s =
+        String.split_on_char ' ' s
+        |> List.filter (fun w -> w <> "")
+        |> List.map (fun w -> try int_of_string w with Failure _ -> fail "bad integer %S" w)
+      in
+      match String.split_on_char ' ' header with
+      | "aag" :: _ -> (
+          match ints (String.sub header 3 (String.length header - 3)) with
+          | [ _maxvar; num_inputs; num_latches; num_outputs; num_ands ] ->
+              if num_latches <> 0 then fail "latches are not supported";
+              let rest = Array.of_list rest in
+              if Array.length rest < num_inputs + num_outputs + num_ands then
+                fail "truncated AIGER body";
+              let aig = Aig.create () in
+              (* Provisional names; overridden by the symbol table. *)
+              let names = Array.init num_inputs (fun i -> Printf.sprintf "i%d" i) in
+              let out_names = Array.init num_outputs (fun o -> Printf.sprintf "o%d" o) in
+              (* symbol table *)
+              for k = num_inputs + num_outputs + num_ands to Array.length rest - 1 do
+                let line = String.trim rest.(k) in
+                match String.index_opt line ' ' with
+                | Some sp when String.length line > 1 ->
+                    let tag = String.sub line 0 sp in
+                    let name = String.sub line (sp + 1) (String.length line - sp - 1) in
+                    let idx () =
+                      try int_of_string (String.sub tag 1 (String.length tag - 1))
+                      with Failure _ -> fail "bad symbol tag %S" tag
+                    in
+                    if tag.[0] = 'i' && idx () < num_inputs then names.(idx ()) <- name
+                    else if tag.[0] = 'o' && idx () < num_outputs then out_names.(idx ()) <- name
+                | Some _ | None -> ()
+              done;
+              let input_lits = Array.map (fun name -> Aig.add_input aig name) names in
+              (* Inputs must be the literals 2, 4, ... in order. *)
+              Array.iteri
+                (fun i line ->
+                  if i < num_inputs then
+                    match ints line with
+                    | [ l ] ->
+                        if l <> input_lits.(i) then fail "non-contiguous input literal %d" l
+                    | _ -> fail "bad input line %S" line)
+                rest;
+              (* AND gates: definitions may be assumed topologically ordered
+                 (standard for aag writers; we check fanins exist). *)
+              let translate = Hashtbl.create 64 in
+              Hashtbl.replace translate 0 Aig.const_false;
+              Hashtbl.replace translate 1 Aig.const_true;
+              Array.iter
+                (fun lit ->
+                  Hashtbl.replace translate lit lit;
+                  Hashtbl.replace translate (lit + 1) (lit + 1))
+                input_lits;
+              let lookup l =
+                match Hashtbl.find_opt translate l with
+                | Some x -> x
+                | None -> fail "undefined literal %d" l
+              in
+              for k = 0 to num_ands - 1 do
+                let line = rest.(num_inputs + num_outputs + k) in
+                match ints line with
+                | [ lhs; rhs0; rhs1 ] ->
+                    let result = Aig.mk_and aig (lookup rhs0) (lookup rhs1) in
+                    Hashtbl.replace translate lhs result;
+                    Hashtbl.replace translate (lhs + 1) (Aig.lit_not result)
+                | _ -> fail "bad AND line %S" line
+              done;
+              for o = 0 to num_outputs - 1 do
+                let line = rest.(num_inputs + o) in
+                match ints line with
+                | [ l ] -> Aig.add_output aig out_names.(o) (lookup l)
+                | _ -> fail "bad output line %S" line
+              done;
+              aig
+          | _ -> fail "bad AIGER header %S" header)
+      | _ -> fail "not an ASCII AIGER file (expected 'aag')")
+
+let write_file path aig =
+  let oc = open_out path in
+  output_string oc (write_string aig);
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  read_string s

@@ -1,0 +1,14 @@
+(** AIGER interchange format (ASCII variant, [aag]).
+
+    The de-facto exchange format for And-Inverter Graphs between
+    model checkers and synthesis tools. Combinational subset: no latches.
+    Literal encoding matches AIGER: variable [v] is literal [2v], its
+    complement [2v+1], constant false is 0. *)
+
+exception Parse_error of string
+
+val write_string : Aig.t -> string
+val read_string : string -> Aig.t
+
+val write_file : string -> Aig.t -> unit
+val read_file : string -> Aig.t

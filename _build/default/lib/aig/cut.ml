@@ -1,0 +1,113 @@
+type cut = { leaves : int array }
+
+(* Merge two sorted leaf arrays; None if the union exceeds k. *)
+let merge k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j n =
+    if i = la && j = lb then Some (Array.sub out 0 n)
+    else if n = k then None
+    else begin
+      let v, i', j' =
+        if j = lb || (i < la && a.(i) < b.(j)) then (a.(i), i + 1, j)
+        else if i = la || b.(j) < a.(i) then (b.(j), i, j + 1)
+        else (a.(i), i + 1, j + 1)
+      in
+      out.(n) <- v;
+      go i' j' (n + 1)
+    end
+  in
+  go 0 0 0
+
+let subset a b =
+  (* is a a subset of b? both sorted *)
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la then true
+    else if j = lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let enumerate t ~k ~max_cuts =
+  let n = Aig.num_nodes t in
+  let cuts = Array.make n [||] in
+  for node = 0 to n - 1 do
+    let trivial = { leaves = [| node |] } in
+    if not (Aig.is_and t node) then cuts.(node) <- [| trivial |]
+    else begin
+      let f0 = Aig.node_of_lit (Aig.fanin0 t node) in
+      let f1 = Aig.node_of_lit (Aig.fanin1 t node) in
+      let acc = ref [] in
+      Array.iter
+        (fun c0 ->
+          Array.iter
+            (fun c1 ->
+              match merge k c0.leaves c1.leaves with
+              | None -> ()
+              | Some leaves -> acc := { leaves } :: !acc)
+            cuts.(f1))
+        cuts.(f0);
+      (* Deduplicate and drop dominated cuts (supersets of another cut). *)
+      let all = List.sort_uniq compare !acc in
+      let irredundant =
+        List.filter
+          (fun c ->
+            not
+              (List.exists (fun c' -> c' <> c && subset c'.leaves c.leaves) all))
+          all
+      in
+      let by_size = List.sort (fun a b -> compare (Array.length a.leaves) (Array.length b.leaves)) irredundant in
+      let kept =
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | c :: rest -> c :: take (n - 1) rest
+        in
+        take (max_cuts - 1) by_size
+      in
+      cuts.(node) <- Array.of_list (kept @ [ trivial ])
+    end
+  done;
+  cuts
+
+let cut_tt t node cut =
+  Aig.cone_tt t node (Array.map (fun leaf -> Aig.lit_of_node leaf false) cut.leaves)
+
+let mffc_size t fanouts node cut =
+  let module S = Set.Make (Int) in
+  let leaves = Array.fold_left (fun s x -> S.add x s) S.empty cut.leaves in
+  (* Collect cone nodes (ANDs strictly above the cut). *)
+  let cone = Hashtbl.create 16 in
+  let rec collect nd =
+    if (not (S.mem nd leaves)) && Aig.is_and t nd && not (Hashtbl.mem cone nd) then begin
+      Hashtbl.replace cone nd ();
+      collect (Aig.node_of_lit (Aig.fanin0 t nd));
+      collect (Aig.node_of_lit (Aig.fanin1 t nd))
+    end
+  in
+  collect node;
+  (* Iteratively remove nodes whose references all come from removed nodes:
+     start from the root (external refs irrelevant: the root itself is being
+     replaced) and propagate. *)
+  let removed = Hashtbl.create 16 in
+  let remaining_refs = Hashtbl.create 16 in
+  Hashtbl.iter (fun nd () -> Hashtbl.replace remaining_refs nd fanouts.(nd)) cone;
+  let rec drop nd =
+    if Hashtbl.mem cone nd && not (Hashtbl.mem removed nd) then begin
+      Hashtbl.replace removed nd ();
+      let release child =
+        if Hashtbl.mem cone child then begin
+          let r = Hashtbl.find remaining_refs child - 1 in
+          Hashtbl.replace remaining_refs child r;
+          if r = 0 then drop child
+        end
+      in
+      release (Aig.node_of_lit (Aig.fanin0 t nd));
+      release (Aig.node_of_lit (Aig.fanin1 t nd))
+    end
+  in
+  drop node;
+  Hashtbl.length removed

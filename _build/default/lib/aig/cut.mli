@@ -1,0 +1,24 @@
+(** K-feasible cut enumeration on AIGs.
+
+    A cut of node [n] is a set of nodes (leaves) such that every path from
+    [n] to a primary input passes through a leaf. Cuts drive both the
+    rewriting passes and the technology mapper. *)
+
+type cut = { leaves : int array }
+(** Leaf node ids, sorted ascending. The trivial cut of [n] is [{n}]. *)
+
+val enumerate : Aig.t -> k:int -> max_cuts:int -> cut array array
+(** [enumerate t ~k ~max_cuts] computes for every node a set of cuts with at
+    most [k] leaves, keeping at most [max_cuts] cuts per node (smallest
+    first; the trivial cut is always included and stored last). Constant and
+    input nodes get only their trivial cut. *)
+
+val cut_tt : Aig.t -> int -> cut -> Logic.Truthtable.t
+(** Function of the node in terms of the cut leaves (variable [i] = leaf
+    [i]). *)
+
+val mffc_size : Aig.t -> int array -> int -> cut -> int
+(** [mffc_size t fanouts node cut] counts the AND nodes in the cone of
+    [node] above the cut that are referenced only from inside that cone —
+    the nodes that would die if [node] were re-expressed directly in terms
+    of the cut leaves. [fanouts] comes from {!Aig.fanout_counts}. *)

@@ -1,0 +1,1 @@
+lib/cell/cells.ml: Format List Logic Network Printf

@@ -1,0 +1,1 @@
+lib/cell/cells.mli: Format Logic Network

@@ -1,0 +1,1 @@
+lib/cell/dynlogic.ml: Array List Logic Printf Set

@@ -1,0 +1,1 @@
+lib/cell/dynlogic.mli: Logic

@@ -1,0 +1,1 @@
+lib/cell/genlib.ml: Array Buffer Cells Char Format List Logic Network Option Printf Spice String

@@ -1,0 +1,1 @@
+lib/cell/genlib.mli: Cells Format Logic Network Spice

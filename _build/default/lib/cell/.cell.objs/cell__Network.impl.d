@@ -1,0 +1,1 @@
+lib/cell/network.ml: Array Format Int List Logic Printf Set

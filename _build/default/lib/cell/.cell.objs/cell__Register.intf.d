@@ -1,0 +1,1 @@
+lib/cell/register.mli: Genlib Spice

@@ -1,0 +1,130 @@
+module E = Logic.Expr
+
+type t = {
+  name : string;
+  pins : int;
+  expr : E.t;
+  generalized : bool;
+  ambipolar : Network.impl;
+  static : Network.impl option;
+}
+
+let a = E.var 0
+let b = E.var 1
+let c = E.var 2
+let d = E.var 3
+let e = E.var 4
+let f = E.var 5
+let x2 p q = E.Xor [ p; q ]
+
+(* A conventional cell exists in every technology. *)
+let conv name pins expr =
+  {
+    name;
+    pins;
+    expr;
+    generalized = false;
+    ambipolar = Network.of_expr ~pins expr;
+    static = Some (Network.of_expr_no_tgate ~pins expr);
+  }
+
+(* A generalized cell embeds XORs through transmission gates and has no
+   conventional static counterpart in the comparison libraries. *)
+let gen name pins expr =
+  {
+    name;
+    pins;
+    expr;
+    generalized = true;
+    ambipolar = Network.of_expr ~pins expr;
+    static = None;
+  }
+
+let nand_of lst = E.not_ (E.and_ lst)
+let nor_of lst = E.not_ (E.or_ lst)
+
+let conventional_cells =
+  [
+    conv "INV" 1 (E.not_ a);
+    conv "BUF" 1 a;
+    conv "NAND2" 2 (nand_of [ a; b ]);
+    conv "NAND3" 3 (nand_of [ a; b; c ]);
+    conv "NAND4" 4 (nand_of [ a; b; c; d ]);
+    conv "NOR2" 2 (nor_of [ a; b ]);
+    conv "NOR3" 3 (nor_of [ a; b; c ]);
+    conv "NOR4" 4 (nor_of [ a; b; c; d ]);
+    conv "AND2" 2 (E.and_ [ a; b ]);
+    conv "OR2" 2 (E.or_ [ a; b ]);
+    conv "AOI21" 3 (nor_of [ E.and_ [ a; b ]; c ]);
+    conv "AOI22" 4 (nor_of [ E.and_ [ a; b ]; E.and_ [ c; d ] ]);
+    conv "OAI21" 3 (nand_of [ E.or_ [ a; b ]; c ]);
+    conv "OAI22" 4 (nand_of [ E.or_ [ a; b ]; E.or_ [ c; d ] ]);
+    (* XOR/XNOR are primitives only thanks to ambipolar transmission gates;
+       conventional static libraries compose them from NAND/NOR (the 12T
+       unipolar XOR is not a genlib primitive in the paper's comparison
+       libraries, which is what makes XOR-rich circuits the showcase). *)
+    gen "XOR2" 2 (x2 a b);
+    gen "XNOR2" 2 (E.not_ (x2 a b));
+  ]
+
+let generalized_cells =
+  [
+    (* Generalized NAND/AND family: inputs replaced by embedded XORs. *)
+    gen "GNAND2" 4 (nand_of [ x2 a c; x2 b d ]);
+    gen "GNAND2B" 3 (nand_of [ x2 a c; b ]);
+    gen "GNAND2X" 3 (nand_of [ x2 a c; x2 b c ]);
+    gen "GAND2" 4 (E.and_ [ x2 a c; x2 b d ]);
+    gen "GAND2B" 3 (E.and_ [ x2 a c; b ]);
+    (* Generalized NOR/OR family. *)
+    gen "GNOR2" 4 (nor_of [ x2 a c; x2 b d ]);
+    gen "GNOR2B" 3 (nor_of [ x2 a c; b ]);
+    gen "GNOR2X" 3 (nor_of [ x2 a c; x2 b c ]);
+    gen "GOR2" 4 (E.or_ [ x2 a c; x2 b d ]);
+    gen "GOR2B" 3 (E.or_ [ x2 a c; b ]);
+    (* Parity. *)
+    gen "XOR3" 3 (E.xor [ a; b; c ]);
+    gen "XNOR3" 3 (E.not_ (E.xor [ a; b; c ]));
+    (* Generalized 3-input NAND/NOR. *)
+    gen "GNAND3" 5 (nand_of [ x2 a d; x2 b e; c ]);
+    gen "GNAND3B" 4 (nand_of [ x2 a d; b; c ]);
+    gen "GNOR3" 5 (nor_of [ x2 a d; x2 b e; c ]);
+    gen "GNOR3B" 4 (nor_of [ x2 a d; b; c ]);
+    (* Generalized AOI family. *)
+    gen "GAOI21" 5 (nor_of [ E.and_ [ x2 a d; x2 b e ]; c ]);
+    gen "GAOI21B" 4 (nor_of [ E.and_ [ x2 a d; b ]; c ]);
+    gen "GAOI21C" 4 (nor_of [ E.and_ [ a; b ]; x2 c d ]);
+    gen "GAOI22" 6 (nor_of [ E.and_ [ x2 a e; x2 b f ]; E.and_ [ c; d ] ]);
+    gen "GAOI22B" 6 (nor_of [ E.and_ [ x2 a e; b ]; E.and_ [ x2 c f; d ] ]);
+    gen "GAOI22C" 5 (nor_of [ E.and_ [ x2 a e; b ]; E.and_ [ c; d ] ]);
+    (* Generalized OAI family. *)
+    gen "GOAI21" 5 (nand_of [ E.or_ [ x2 a d; x2 b e ]; c ]);
+    gen "GOAI21B" 4 (nand_of [ E.or_ [ x2 a d; b ]; c ]);
+    gen "GOAI21C" 4 (nand_of [ E.or_ [ a; b ]; x2 c d ]);
+    gen "GOAI22" 6 (nand_of [ E.or_ [ x2 a e; x2 b f ]; E.or_ [ c; d ] ]);
+    gen "GOAI22B" 6 (nand_of [ E.or_ [ x2 a e; b ]; E.or_ [ x2 c f; d ] ]);
+    gen "GOAI22C" 5 (nand_of [ E.or_ [ x2 a e; b ]; E.or_ [ c; d ] ]);
+    (* Multiplexers: natural transmission-gate structures. *)
+    gen "MUX2" 3 (E.or_ [ E.and_ [ E.not_ a; b ]; E.and_ [ a; c ] ]);
+    gen "MUXI2" 3 (E.not_ (E.or_ [ E.and_ [ E.not_ a; b ]; E.and_ [ a; c ] ]));
+  ]
+
+let all = conventional_cells @ generalized_cells
+
+let () = assert (List.length all = 46)
+
+let conventional = List.filter (fun cell -> cell.static <> None) all
+
+let find name = List.find (fun cell -> cell.name = name) all
+
+let tt cell = E.to_tt cell.pins cell.expr
+
+let inverter = find "INV"
+
+let pp ppf cell =
+  Format.fprintf ppf "%s/%d%s: %a [%dT ambipolar%s]" cell.name cell.pins
+    (if cell.generalized then " (gen)" else "")
+    E.pp cell.expr
+    (Network.impl_transistors cell.ambipolar)
+    (match cell.static with
+    | None -> ""
+    | Some s -> Printf.sprintf ", %dT static" (Network.impl_transistors s))

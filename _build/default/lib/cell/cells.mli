@@ -1,0 +1,38 @@
+(** The gate library.
+
+    Regenerates the 46-gate static ambipolar CNTFET library of
+    [Ben Jamaa et al., DATE'09] from its construction rules: conventional
+    static gates plus their {e generalized} counterparts in which inputs are
+    replaced by embedded two-input XORs realized with ambipolar transmission
+    gates (at most two transmission gates or transistors in series/parallel
+    per network). Each cell also carries the conventional (unipolar,
+    XOR-expanded) realization used for the CMOS and conventional-CNTFET
+    comparison libraries — when one exists within ordinary static-CMOS size
+    limits. *)
+
+type t = {
+  name : string;
+  pins : int;
+  expr : Logic.Expr.t;  (** output function over pins [0 .. pins-1] *)
+  generalized : bool;  (** embeds XOR via transmission gates *)
+  ambipolar : Network.impl;  (** transmission-gate realization *)
+  static : Network.impl option;
+      (** conventional complementary static realization; [None] for
+          generalized cells that only exist in the ambipolar library *)
+}
+
+val all : t list
+(** The full generalized library: exactly 46 cells. *)
+
+val conventional : t list
+(** The subset available to conventional technologies (CMOS and
+    MOSFET-like-CNTFET-only): every cell with a static realization. *)
+
+val find : string -> t
+(** Lookup by name. Raises [Not_found]. *)
+
+val tt : t -> Logic.Truthtable.t
+(** Output truth table over the cell's pins. *)
+
+val inverter : t
+val pp : Format.formatter -> t -> unit

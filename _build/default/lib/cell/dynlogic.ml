@@ -1,0 +1,64 @@
+module T = Logic.Truthtable
+
+type device = { data : int; config : int }
+type network = Dev of device | Ser of network list | Par of network list
+
+type t = { name : string; data_pins : int; config_pins : int; eval : network }
+
+let rec devices = function
+  | Dev _ -> 1
+  | Ser children | Par children -> List.fold_left (fun acc n -> acc + devices n) 0 children
+
+let num_transistors t = devices t.eval + 2
+
+let rec conducts ~data ~config = function
+  | Dev d ->
+      let x = (data lsr d.data) land 1 = 1 in
+      let c = (config lsr d.config) land 1 = 1 in
+      x <> c
+  | Ser children -> List.for_all (conducts ~data ~config) children
+  | Par children -> List.exists (conducts ~data ~config) children
+
+let function_of t ~config =
+  assert (config >= 0 && config < 1 lsl t.config_pins);
+  T.of_bits t.data_pins
+    (Array.init (1 lsl t.data_pins) (fun data ->
+         not (conducts ~data ~config t.eval)))
+
+let achievable_functions t =
+  let module S = Set.Make (struct
+    type nonrec t = T.t
+
+    let compare = T.compare
+  end) in
+  let acc = ref S.empty in
+  for config = 0 to (1 lsl t.config_pins) - 1 do
+    acc := S.add (function_of t ~config) !acc
+  done;
+  S.elements !acc
+
+let gnor k =
+  {
+    name = Printf.sprintf "dyn-GNOR%d" k;
+    data_pins = k;
+    config_pins = k;
+    eval = Par (List.init k (fun i -> Dev { data = i; config = i }));
+  }
+
+let reconfigurable2 =
+  {
+    name = "dyn-RECONF2";
+    data_pins = 2;
+    config_pins = 4;
+    eval =
+      Par
+        [
+          Ser [ Dev { data = 0; config = 0 }; Dev { data = 1; config = 1 } ];
+          Ser [ Dev { data = 0; config = 2 }; Dev { data = 1; config = 3 } ];
+        ];
+  }
+
+let eval_alpha t ~config =
+  let f = function_of t ~config in
+  let total = 1 lsl t.data_pins in
+  float_of_int (total - T.count_ones f) /. float_of_int total

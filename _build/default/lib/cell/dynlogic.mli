@@ -1,0 +1,56 @@
+(** Dynamic and in-field reconfigurable ambipolar gates.
+
+    The paper's background (Section 2.2) surveys two uses of controllable
+    ambipolarity beyond the static library: dynamic generalized-NOR gates as
+    PLA cores (Ben Jamaa et al., DAC'08 [6]) and compact reconfigurable
+    cells mapping many functions with few transistors (O'Connor et al. [5],
+    eight 2-input functions from seven CNTFETs). This module models both:
+    a dynamic gate is a precharged output pulled down by an evaluation
+    network of ambipolar devices whose polarity gates are {e configuration}
+    inputs, so each configuration vector selects a different Boolean
+    function of the data inputs. *)
+
+type device = {
+  data : int;  (** data pin driving the conventional gate *)
+  config : int;  (** configuration pin driving the polarity gate *)
+}
+(** One ambipolar CNTFET in the evaluation network: it conducts exactly
+    when [data xor config] is 1. *)
+
+type network = Dev of device | Ser of network list | Par of network list
+
+type t = {
+  name : string;
+  data_pins : int;
+  config_pins : int;
+  eval : network;
+}
+
+val num_transistors : t -> int
+(** Evaluation devices plus the precharge transistor and the clocked
+    footer. *)
+
+val function_of : t -> config:int -> Logic.Truthtable.t
+(** Output function of the data pins for one configuration: the precharged
+    output stays high unless the evaluation network discharges it. *)
+
+val achievable_functions : t -> Logic.Truthtable.t list
+(** Distinct data functions over all configuration vectors. *)
+
+val gnor : int -> t
+(** [gnor k]: the dynamic generalized NOR of [6] — [k] parallel ambipolar
+    branches; configuration selects the polarity of every input, so it
+    computes [NOR(x_i xor c_i)]. *)
+
+val reconfigurable2 : t
+(** A two-data-input reconfigurable cell (two series pairs in parallel,
+    four configuration bits): achieves more than eight distinct functions
+    of its two data inputs — the expressive-power claim of [5] reproduced
+    with a slightly different topology. *)
+
+val eval_alpha : t -> config:int -> float
+(** Dynamic-logic activity: the output discharges (and must be recharged)
+    whenever the function evaluates to 0, so the per-cycle switching
+    probability is the off-set fraction — typically far above the static
+    gates' combinational activity factor, which is why the paper's static
+    library is the power-efficient choice. *)

@@ -1,0 +1,219 @@
+module T = Spice.Tech
+
+type style = Ambipolar | Static
+
+type gate = {
+  cell : Cells.t;
+  impl : Network.impl;
+  tech : T.t;
+  area : float;
+  delay : float;
+  input_caps : float array;
+  output_drain_cap : float;
+}
+
+type t = { name : string; tech : T.t; style : style; gates : gate list }
+
+let gate_of_cell tech style (cell : Cells.t) =
+  let impl =
+    match style with
+    | Ambipolar -> Some cell.Cells.ambipolar
+    | Static -> cell.Cells.static
+  in
+  Option.map
+    (fun impl ->
+      let loads = Network.impl_input_load impl cell.Cells.pins in
+      {
+        cell;
+        impl;
+        tech;
+        area = float_of_int (Network.impl_transistors impl);
+        delay = tech.T.tau *. float_of_int (Network.impl_stack impl);
+        input_caps = Array.map (fun k -> float_of_int k *. tech.T.c_gate) loads;
+        output_drain_cap =
+          float_of_int (Network.impl_output_drains impl) *. tech.T.c_drain;
+      })
+    impl
+
+let make name tech style cells =
+  { name; tech; style; gates = List.filter_map (gate_of_cell tech style) cells }
+
+let generalized_cntfet =
+  make "cntfet-generalized" T.cntfet Ambipolar Cells.all
+
+let conventional_cntfet =
+  make "cntfet-conventional" T.cntfet Static Cells.conventional
+
+let cmos = make "cmos" T.cmos Static Cells.conventional
+
+let all_libraries = [ generalized_cntfet; conventional_cntfet; cmos ]
+
+let find_gate t name = List.find (fun g -> g.cell.Cells.name = name) t.gates
+
+let with_tech t tech =
+  let rebind (g : gate) = { g with tech } in
+  { t with tech; gates = List.map rebind t.gates }
+
+let gate_load g =
+  g.output_drain_cap
+  +. (float_of_int T.fanout *. T.inverter_input_cap g.tech)
+
+let to_genlib_string t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun g ->
+      let pin_name i = String.make 1 (Char.chr (Char.code 'A' + i)) in
+      Buffer.add_string buf
+        (Format.asprintf "GATE %s %g O=%a;\n" g.cell.Cells.name g.area
+           (Logic.Expr.pp_named pin_name)
+           g.cell.Cells.expr);
+      for i = 0 to g.cell.Cells.pins - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  PIN %s UNKNOWN %g 999 %.4g %.4g %.4g %.4g\n"
+             (pin_name i)
+             (g.input_caps.(i) *. 1e15)
+             (g.delay *. 1e12) 0.0 (g.delay *. 1e12) 0.0)
+      done)
+    t.gates;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Recursive-descent parser for genlib formulas: OR < XOR < AND < NOT. *)
+let parse_formula text pin_index =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t') ->
+        advance ();
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let rec parse_or () =
+    let left = parse_xor () in
+    skip_ws ();
+    match peek () with
+    | Some '+' ->
+        advance ();
+        Logic.Expr.or_ [ left; parse_or () ]
+    | Some _ | None -> left
+  and parse_xor () =
+    let left = parse_and () in
+    skip_ws ();
+    match peek () with
+    | Some '^' ->
+        advance ();
+        Logic.Expr.xor [ left; parse_xor () ]
+    | Some _ | None -> left
+  and parse_and () =
+    let left = parse_not () in
+    skip_ws ();
+    match peek () with
+    | Some '*' ->
+        advance ();
+        Logic.Expr.and_ [ left; parse_and () ]
+    | Some _ | None -> left
+  and parse_not () =
+    skip_ws ();
+    match peek () with
+    | Some '!' ->
+        advance ();
+        Logic.Expr.not_ (parse_not ())
+    | Some _ | None -> parse_atom ()
+  and parse_atom () =
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+        advance ();
+        let e = parse_or () in
+        skip_ws ();
+        (match peek () with
+        | Some ')' -> advance ()
+        | Some c -> fail "expected ')', found %C" c
+        | None -> fail "expected ')', found end of formula");
+        e
+    | Some '0' ->
+        advance ();
+        Logic.Expr.const false
+    | Some '1' ->
+        advance ();
+        Logic.Expr.const true
+    | Some c when c >= 'A' && c <= 'Z' ->
+        advance ();
+        Logic.Expr.var (pin_index c)
+    | Some c -> fail "unexpected character %C in formula" c
+    | None -> fail "unexpected end of formula"
+  in
+  let e = parse_or () in
+  skip_ws ();
+  (match peek () with None -> () | Some c -> fail "trailing %C in formula" c);
+  e
+
+let parse_genlib text =
+  let lines = String.split_on_char '\n' text in
+  let gates = ref [] in
+  let pending = ref None in
+  let flush () =
+    match !pending with
+    | None -> ()
+    | Some (name, area, expr, delays) ->
+        let delay =
+          match delays with [] -> 0.0 | d :: _ -> d
+        in
+        gates := (name, area, expr, delay) :: !gates;
+        pending := None
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      let words =
+        String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | "GATE" :: name :: area :: formula_parts ->
+          flush ();
+          let area =
+            try float_of_string area with Failure _ -> fail "bad area %S" area
+          in
+          let formula = String.concat " " formula_parts in
+          let formula =
+            match String.index_opt formula '=' with
+            | Some i ->
+                String.sub formula (i + 1) (String.length formula - i - 1)
+            | None -> fail "missing O= in %S" line
+          in
+          let formula =
+            match String.index_opt formula ';' with
+            | Some i -> String.sub formula 0 i
+            | None -> fail "missing ';' in %S" line
+          in
+          (* Pins are named A..Z; assign variable indices by letter order so
+             A = pin 0, matching the printer. *)
+          let pin_index c = Char.code c - Char.code 'A' in
+          let expr = parse_formula formula pin_index in
+          pending := Some (name, area, expr, [])
+      | "PIN" :: _ :: _ :: _ :: _ :: rise :: _ -> (
+          match !pending with
+          | None -> fail "PIN line outside GATE"
+          | Some (name, area, expr, delays) ->
+              let d = try float_of_string rise with Failure _ -> 0.0 in
+              pending := Some (name, area, expr, delays @ [ d ]))
+      | [] -> ()
+      | first :: _ when String.length first > 0 && first.[0] = '#' -> ()
+      | _ -> fail "unrecognized genlib line %S" line)
+    lines;
+  flush ();
+  List.rev !gates
+
+let pp_summary ppf t =
+  let total_area = List.fold_left (fun acc g -> acc +. g.area) 0.0 t.gates in
+  Format.fprintf ppf "%s: %d gates, %s technology, total area %g T, tau %.3g ps"
+    t.name (List.length t.gates)
+    (Format.asprintf "%a" T.pp_family t.tech.T.family)
+    total_area
+    (t.tech.T.tau *. 1e12)

@@ -1,0 +1,65 @@
+(** Mapping libraries: a set of cells bound to a technology corner, with
+    genlib-style area/delay annotations.
+
+    This corresponds to the paper's "genlib libraries that were compiled for
+    each logic family based on the area/delay values from [3]" (Section 4):
+    one library per logic family — generalized ambipolar CNTFET,
+    conventional CNTFET, and CMOS. *)
+
+type style = Ambipolar | Static
+
+type gate = {
+  cell : Cells.t;
+  impl : Network.impl;  (** realization used in this library *)
+  tech : Spice.Tech.t;
+  area : float;  (** normalized to unit transistors *)
+  delay : float;  (** pin-to-output delay, seconds *)
+  input_caps : float array;  (** per-pin input capacitance, F *)
+  output_drain_cap : float;  (** intrinsic output capacitance, F *)
+}
+
+type t = {
+  name : string;
+  tech : Spice.Tech.t;
+  style : style;
+  gates : gate list;
+}
+
+val generalized_cntfet : t
+(** All 46 cells, transmission-gate realizations, CNTFET corner. *)
+
+val conventional_cntfet : t
+(** Conventional cells only, static realizations, CNTFET corner. *)
+
+val cmos : t
+(** Conventional cells only, static realizations, 32 nm bulk CMOS corner. *)
+
+val all_libraries : t list
+
+val find_gate : t -> string -> gate
+
+val with_tech : t -> Spice.Tech.t -> t
+(** Rebind the library (and every gate) to a derived technology corner —
+    used by the V_DD / temperature sensitivity studies. Geometry-derived
+    values (areas, capacitances) are kept. *)
+
+val gate_load : gate -> float
+(** Characterization-time output load: intrinsic drain capacitance plus
+    [Tech.fanout] inverter-equivalent input loads (the paper's fanout-3
+    assumption). *)
+
+val to_genlib_string : t -> string
+(** Render in SIS/ABC genlib syntax (for documentation and interop). *)
+
+exception Parse_error of string
+
+val parse_genlib : string -> (string * float * Logic.Expr.t * float) list
+(** Parse genlib text into (gate name, area, function over pins named
+    A..Z in order of first appearance, pin delay in ps) tuples. Supports the
+    subset emitted by {!to_genlib_string}: [GATE name area O=expr;] lines
+    followed by [PIN] lines; [*] [+] [^] [!] operators with the usual
+    precedence and parentheses. The round-trip property
+    [parse_genlib (to_genlib_string lib)] recovers every gate's function
+    and is exercised by the test suite. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,261 @@
+module E = Logic.Expr
+module T = Logic.Truthtable
+
+type signal = { pin : int; inverted : bool }
+
+let sig_ pin = { pin; inverted = false }
+let nsig pin = { pin; inverted = true }
+let sig_not s = { s with inverted = not s.inverted }
+
+type device = Fixed_n of signal | Fixed_p of signal | Tgate of signal * signal
+
+type network = Dev of device | Ser of network list | Par of network list
+
+let eval_signal env s = if s.inverted then not (env s.pin) else env s.pin
+
+let rec conducts env = function
+  | Dev (Fixed_n s) -> eval_signal env s
+  | Dev (Fixed_p s) -> not (eval_signal env s)
+  | Dev (Tgate (a, b)) -> eval_signal env a <> eval_signal env b
+  | Ser children -> List.for_all (conducts env) children
+  | Par children -> List.exists (conducts env) children
+
+let device_transistors = function Fixed_n _ | Fixed_p _ -> 1 | Tgate _ -> 2
+
+let rec num_transistors = function
+  | Dev d -> device_transistors d
+  | Ser children | Par children ->
+      List.fold_left (fun acc n -> acc + num_transistors n) 0 children
+
+let rec num_leaves = function
+  | Dev _ -> 1
+  | Ser children | Par children ->
+      List.fold_left (fun acc n -> acc + num_leaves n) 0 children
+
+let rec max_stack = function
+  | Dev _ -> 1
+  | Ser children -> List.fold_left (fun acc n -> acc + max_stack n) 0 children
+  | Par children -> List.fold_left (fun acc n -> max acc (max_stack n)) 0 children
+
+let device_signals = function
+  | Fixed_n s | Fixed_p s -> [ s ]
+  | Tgate (a, b) -> [ a; b ]
+
+let rec iter_devices f = function
+  | Dev d -> f d
+  | Ser children | Par children -> List.iter (iter_devices f) children
+
+let gate_loads net acc =
+  iter_devices
+    (fun d -> List.iter (fun s -> acc.(s.pin) <- acc.(s.pin) + 1) (device_signals d))
+    net
+
+let complemented_pins net =
+  let module S = Set.Make (Int) in
+  let acc = ref S.empty in
+  iter_devices
+    (fun d ->
+      List.iter (fun s -> if s.inverted then acc := S.add s.pin !acc) (device_signals d))
+    net;
+  S.elements !acc
+
+(* ------------------------------------------------------------------ *)
+
+type impl = { pull_up : network; pull_down : network; output_inverter : bool }
+
+let impl_function impl n =
+  let values =
+    Array.init (1 lsl n) (fun m ->
+        let env i = (m lsr i) land 1 = 1 in
+        let up = conducts env impl.pull_up in
+        let down = conducts env impl.pull_down in
+        if up = down then
+          failwith
+            (Printf.sprintf "Network.impl_function: non-complementary networks at minterm %d" m);
+        let core = up in
+        if impl.output_inverter then not core else core)
+  in
+  T.of_bits n values
+
+let impl_complemented impl =
+  let module S = Set.Make (Int) in
+  S.elements
+    (S.union
+       (S.of_list (complemented_pins impl.pull_up))
+       (S.of_list (complemented_pins impl.pull_down)))
+
+let impl_transistors impl =
+  num_transistors impl.pull_up + num_transistors impl.pull_down
+  + (if impl.output_inverter then 2 else 0)
+  + (2 * List.length (impl_complemented impl))
+
+let impl_stack impl =
+  max (max_stack impl.pull_up) (max_stack impl.pull_down)
+  + if impl.output_inverter then 1 else 0
+
+let impl_input_load impl n =
+  let acc = Array.make n 0 in
+  gate_loads impl.pull_up acc;
+  gate_loads impl.pull_down acc;
+  (* Each internally generated complement adds one inverter gate load on its
+     pin (the inverter's own fanout is internal). *)
+  List.iter (fun pin -> acc.(pin) <- acc.(pin) + 1) (impl_complemented impl);
+  acc
+
+let top_drains net =
+  (* Devices whose drain terminal touches the network's output side: the
+     first element of every top-level series chain, all members of a
+     top-level parallel group. *)
+  let rec count = function
+    | Dev d -> device_transistors d
+    | Ser [] -> 0
+    | Ser (first :: _) -> count first
+    | Par children -> List.fold_left (fun acc n -> acc + count n) 0 children
+  in
+  count net
+
+let impl_output_drains impl =
+  if impl.output_inverter then 2
+  else top_drains impl.pull_up + top_drains impl.pull_down
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+
+(* Literal extraction: expressions over Var / Not Var / Xor of two literals. *)
+let signal_of_literal = function
+  | E.Var i -> sig_ i
+  | E.Not (E.Var i) -> nsig i
+  | e -> failwith (Format.asprintf "Network.of_expr: not a literal: %a" E.pp e)
+
+let is_literal = function E.Var _ | E.Not (E.Var _) -> true | _ -> false
+
+(* Negation normal form, keeping 2-literal XOR atoms intact; XORs over
+   non-literal operands are Shannon-expanded so only literal transmission
+   gates remain. *)
+let rec nnf negate e =
+  match (e, negate) with
+  | E.Const b, _ -> E.Const (b <> negate)
+  | E.Var _, false -> e
+  | E.Var i, true -> E.Not (E.Var i)
+  | E.Not inner, _ -> nnf (not negate) inner
+  | E.And children, false -> E.and_ (List.map (nnf false) children)
+  | E.And children, true -> E.or_ (List.map (nnf true) children)
+  | E.Or children, false -> E.or_ (List.map (nnf false) children)
+  | E.Or children, true -> E.and_ (List.map (nnf true) children)
+  | E.Xor [ a; b ], _ ->
+      let a' = nnf false a and b' = nnf negate b in
+      if is_literal a' && is_literal b' then E.Xor [ a'; b' ]
+      else
+        (* p xor q (xor negate) = (p and !(q xor negate)) or (!p and (q xor negate)) *)
+        E.or_
+          [
+            E.and_ [ nnf false a; nnf (not negate) b ];
+            E.and_ [ nnf true a; nnf negate b ];
+          ]
+  | E.Xor (first :: rest), _ -> nnf negate (E.Xor [ first; E.xor rest ])
+  | E.Xor [], _ -> E.Const negate
+
+(* Build a network that conducts exactly when the NNF expression is true.
+   [position] decides the device flavour used for plain literals. *)
+let rec network_of ~position e =
+  match e with
+  | E.And children -> Ser (List.map (network_of ~position) children)
+  | E.Or children -> Par (List.map (network_of ~position) children)
+  | E.Xor [ a; b ] -> Dev (Tgate (signal_of_literal a, signal_of_literal b))
+  | E.Var _ | E.Not (E.Var _) ->
+      let s = signal_of_literal e in
+      (match position with
+      | `Pull_down -> Dev (Fixed_n s)
+      | `Pull_up -> Dev (Fixed_p (sig_not s)))
+  | E.Const _ | E.Not _ | E.Xor _ ->
+      failwith (Format.asprintf "Network.of_expr: unsupported shape: %a" E.pp e)
+
+(* Structural dual: swap series/parallel and complement every device's
+   conduction condition. The dual of a series-parallel network conducts
+   exactly when the network does not. *)
+let rec dual = function
+  | Dev (Fixed_n s) -> Dev (Fixed_p s)
+  | Dev (Fixed_p s) -> Dev (Fixed_n s)
+  | Dev (Tgate (a, b)) -> Dev (Tgate (a, sig_not b))
+  | Ser children -> Par (List.map dual children)
+  | Par children -> Ser (List.map dual children)
+
+let direct_impl expr =
+  let from_exprs =
+    {
+      pull_up = network_of ~position:`Pull_up (nnf false expr);
+      pull_down = network_of ~position:`Pull_down (nnf true expr);
+      output_inverter = false;
+    }
+  in
+  (* Alternative: derive the pull-up as the structural dual of the pull-down
+     (the classic complementary-static construction); keep whichever needs
+     fewer transistors. *)
+  let from_dual =
+    { from_exprs with pull_up = dual from_exprs.pull_down }
+  in
+  if impl_transistors from_dual < impl_transistors from_exprs then from_dual
+  else from_exprs
+
+let of_expr ~pins expr =
+  let direct = direct_impl expr in
+  let inverted_core = { (direct_impl (E.not_ expr)) with output_inverter = true } in
+  let best =
+    if impl_transistors inverted_core < impl_transistors direct then inverted_core
+    else direct
+  in
+  (* Sanity: the chosen implementation realizes the requested function. *)
+  let expected = E.to_tt pins expr in
+  if not (T.equal (impl_function best pins) expected) then
+    failwith "Network.of_expr: implementation does not match the expression";
+  best
+
+(* Expand XOR atoms to SOP over literals for unipolar technologies. *)
+let rec expand_xor e =
+  match e with
+  | E.Const _ | E.Var _ -> e
+  | E.Not inner -> E.not_ (expand_xor inner)
+  | E.And children -> E.and_ (List.map expand_xor children)
+  | E.Or children -> E.or_ (List.map expand_xor children)
+  | E.Xor children -> (
+      match List.map expand_xor children with
+      | [] -> E.Const false
+      | [ x ] -> x
+      | x :: rest ->
+          let y = expand_xor (E.xor rest) in
+          E.or_ [ E.and_ [ x; E.not_ y ]; E.and_ [ E.not_ x; y ] ])
+
+let of_expr_no_tgate ~pins expr =
+  (* Re-factor through the truth table so the SOP expansion stays small and
+     the networks keep a classic series/parallel shape. *)
+  let tt = E.to_tt pins expr in
+  let pos = E.factor (T.isop tt) in
+  let neg = E.factor (T.isop (T.lognot tt)) in
+  let candidates =
+    let pd_neg = network_of ~position:`Pull_down (nnf false (expand_xor neg)) in
+    let pd_pos = network_of ~position:`Pull_down (nnf false (expand_xor pos)) in
+    [
+      {
+        pull_up = network_of ~position:`Pull_up (nnf false (expand_xor pos));
+        pull_down = pd_neg;
+        output_inverter = false;
+      };
+      { pull_up = dual pd_neg; pull_down = pd_neg; output_inverter = false };
+      {
+        pull_up = network_of ~position:`Pull_up (nnf false (expand_xor neg));
+        pull_down = pd_pos;
+        output_inverter = true;
+      };
+      { pull_up = dual pd_pos; pull_down = pd_pos; output_inverter = true };
+    ]
+  in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        if impl_transistors cand < impl_transistors acc then cand else acc)
+      (List.hd candidates) (List.tl candidates)
+  in
+  let expected = E.to_tt pins expr in
+  if not (T.equal (impl_function best pins) expected) then
+    failwith "Network.of_expr_no_tgate: implementation does not match";
+  best

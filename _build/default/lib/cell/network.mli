@@ -1,0 +1,94 @@
+(** Transistor-level structure of library gates: series/parallel pull-up and
+    pull-down networks over three device flavours (fixed-polarity n, fixed
+    polarity p, ambipolar transmission gate).
+
+    This is the "gate topology" that the paper's topology analyzer walks to
+    derive I_off patterns (Section 3.2-3.3) and transistor counts, and from
+    which both the ambipolar CNTFET gates of [3] and conventional
+    complementary static (CMOS-style) gates are constructed. *)
+
+type signal = { pin : int; inverted : bool }
+(** A gate terminal signal: input pin [pin], possibly through an internal
+    complement inverter. *)
+
+val sig_ : int -> signal
+val nsig : int -> signal
+val sig_not : signal -> signal
+
+type device =
+  | Fixed_n of signal  (** conducts when the signal is 1 *)
+  | Fixed_p of signal  (** conducts when the signal is 0 *)
+  | Tgate of signal * signal
+      (** ambipolar transmission gate: conducts when the XOR of the two
+          signals is 1 (Fig. 2 of the paper); built from two ambipolar
+          devices in parallel, so it counts as two transistors *)
+
+type network = Dev of device | Ser of network list | Par of network list
+
+val conducts : (int -> bool) -> network -> bool
+(** Conduction of the network under an input assignment. *)
+
+val num_transistors : network -> int
+(** Devices in the network (a transmission gate counts 2). *)
+
+val num_leaves : network -> int
+(** Branch elements (a transmission gate counts 1). *)
+
+val max_stack : network -> int
+(** Longest series chain of branch elements — the worst-case conduction
+    stack, used as the first-order delay proxy. *)
+
+val gate_loads : network -> int array -> unit
+(** [gate_loads net acc] adds, per input pin, the number of device gates the
+    pin drives (complemented uses included); [acc] must be sized to the pin
+    count. *)
+
+val complemented_pins : network -> int list
+(** Pins used in inverted form somewhere in the network. *)
+
+(** {1 Gate implementations} *)
+
+type impl = {
+  pull_up : network;
+  pull_down : network;
+  output_inverter : bool;
+      (** when set, the networks compute the complement and a 2-transistor
+          inverter drives the output *)
+}
+
+val impl_function : impl -> int -> Logic.Truthtable.t
+(** [impl_function impl n] is the output function over [n] pins. Raises
+    [Failure] if the pull-up and pull-down networks are not complementary
+    (both or neither conducting for some input). *)
+
+val impl_transistors : impl -> int
+(** Total transistor count: both networks, the output inverter if present,
+    and one 2-transistor inverter per internally complemented input pin. *)
+
+val impl_stack : impl -> int
+(** Worst series stack across PU/PD plus one if there is an output
+    inverter — the gate's logical-depth proxy. *)
+
+val impl_input_load : impl -> int -> int array
+(** Per-pin count of driven device gates over [n] pins (complement
+    inverters add one gate load on their pin). *)
+
+val impl_output_drains : impl -> int
+(** Number of device drains touching the output node (intrinsic output
+    capacitance proxy). *)
+
+(** {1 Builders} *)
+
+val of_expr : pins:int -> Logic.Expr.t -> impl
+(** Build a complementary static implementation of the expression.
+    [And]/[Or] map to series/parallel; literals map to fixed-polarity
+    devices (n in pull-down, p in pull-up); two-literal [Xor] atoms map to
+    transmission gates. If implementing the complement plus an output
+    inverter needs fewer transistors, that variant is returned. The
+    expression must be built from literals, [And], [Or] and [Xor] of two
+    literals. *)
+
+val of_expr_no_tgate : pins:int -> Logic.Expr.t -> impl
+(** Same, but [Xor] atoms are expanded to sum-of-products first — the
+    conventional CMOS/unipolar realization, which cannot use ambipolar
+    transmission gates. *)

@@ -1,0 +1,57 @@
+module T = Spice.Tech
+
+type t = {
+  style : Genlib.style;
+  tech : T.t;
+  transistors : int;
+  clock_cap : float;
+  d_cap : float;
+  q_drive_cap : float;
+  internal_cap : float;
+  clock_internal_cap : float;
+  leakage : float;
+}
+
+(* Master-slave TG DFF: two pass stages + two keeper inverter pairs.
+   - Static (unipolar) version: 2 TGs (4T) + 4 inverters (8T) + the
+     complement-clock inverter (2T) = 14T; the clock net drives one
+     inverter plus one device gate per TG, and the internal clk' net (one
+     inverter output + two device gates) toggles every cycle.
+   - Ambipolar version: each pass stage is a single ambipolar device pair
+     whose polarity gates take the clock directly (opposite data-gate
+     phases make one stage transparent-high and the other
+     transparent-low), so no clk' rail exists: 2 TGs (4T) + 4 inverters
+     (8T) = 12T. *)
+let of_corner style (tech : T.t) =
+  let cg = tech.T.c_gate and cd = tech.T.c_drain in
+  match style with
+  | Genlib.Ambipolar ->
+      {
+        style;
+        tech;
+        transistors = 12;
+        clock_cap = 4.0 *. cg;
+        d_cap = 2.0 *. cg;
+        q_drive_cap = 2.0 *. cd;
+        internal_cap = (6.0 *. cg) +. (4.0 *. cd);
+        clock_internal_cap = 0.0;
+        leakage = 5.0 *. tech.T.ioff_unit;
+      }
+  | Genlib.Static ->
+      {
+        style;
+        tech;
+        transistors = 14;
+        clock_cap = 4.0 *. cg;
+        d_cap = 2.0 *. cg;
+        q_drive_cap = 2.0 *. cd;
+        internal_cap = (6.0 *. cg) +. (4.0 *. cd);
+        clock_internal_cap = (4.0 *. cg) +. (2.0 *. cd);
+        leakage = 6.0 *. tech.T.ioff_unit;
+      }
+
+let ambipolar_cntfet = of_corner Genlib.Ambipolar T.cntfet
+let conventional_cntfet = of_corner Genlib.Static T.cntfet
+let cmos = of_corner Genlib.Static T.cmos
+
+let for_library (lib : Genlib.t) = of_corner lib.Genlib.style lib.Genlib.tech

@@ -1,0 +1,32 @@
+(** Edge-triggered register (DFF) cells.
+
+    A master-slave transmission-gate flip-flop in each technology corner.
+    The ambipolar realization puts the clock on the {e polarity gates} of
+    its pass devices, so the complement-clock inverter of the classic CMOS
+    TG-DFF disappears — 2 transistors and one internally toggling net saved
+    per register, and a smaller clock load. Used by the sequential mapping
+    flow to account for register area, clock power, internal switching and
+    leakage. *)
+
+type t = {
+  style : Genlib.style;
+  tech : Spice.Tech.t;
+  transistors : int;
+  clock_cap : float;  (** capacitance presented to the clock net, F *)
+  d_cap : float;  (** input capacitance at D, F *)
+  q_drive_cap : float;  (** intrinsic drain capacitance at Q, F *)
+  internal_cap : float;  (** capacitance switched when the state toggles, F *)
+  clock_internal_cap : float;
+      (** capacitance toggling every cycle regardless of data (the CMOS
+          complement-clock net; 0 for the ambipolar cell) *)
+  leakage : float;  (** average static current, A *)
+}
+
+val of_corner : Genlib.style -> Spice.Tech.t -> t
+
+val ambipolar_cntfet : t
+val conventional_cntfet : t
+val cmos : t
+
+val for_library : Genlib.t -> t
+(** The register matching a mapping library's style and corner. *)

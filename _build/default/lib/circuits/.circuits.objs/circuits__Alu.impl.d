@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Arith Array List Logic Nets Printf

@@ -1,0 +1,1 @@
+lib/circuits/crc.ml: Array Int32 Nets Printf

@@ -1,0 +1,1 @@
+lib/circuits/crc.mli: Nets

@@ -1,0 +1,1 @@
+lib/circuits/des.ml: Arith Array List Logic Nets Printf

@@ -1,0 +1,1 @@
+lib/circuits/hamming.ml: Arith Array List Nets

@@ -1,0 +1,1 @@
+lib/circuits/hamming.mli: Nets

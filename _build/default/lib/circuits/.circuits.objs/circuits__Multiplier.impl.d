@@ -1,0 +1,1 @@
+lib/circuits/multiplier.ml: Arith Array Nets

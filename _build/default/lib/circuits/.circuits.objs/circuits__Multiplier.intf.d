@@ -1,0 +1,1 @@
+lib/circuits/multiplier.mli: Nets

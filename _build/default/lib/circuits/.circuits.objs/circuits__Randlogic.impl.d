@@ -1,0 +1,1 @@
+lib/circuits/randlogic.ml: Arith Array List Logic Nets Printf

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Alu Des Hamming List Multiplier Nets Randlogic

@@ -1,0 +1,84 @@
+module N = Nets.Netlist
+
+type feature = Add | Sub | Bitwise | Compare | Parity | Shift
+
+(* A seeded random control cone: a multi-level network of random 2-3 input
+   gates over the given support, producing one output. *)
+let control_cone t rng support depth =
+  let pool = ref (Array.to_list support) in
+  let pick () =
+    let arr = Array.of_list !pool in
+    arr.(Logic.Prng.int rng (Array.length arr))
+  in
+  let ops = [| N.And; N.Or; N.Xor; N.Nand; N.Nor; N.Mux |] in
+  let node = ref (pick ()) in
+  for _ = 1 to depth do
+    let op = ops.(Logic.Prng.int rng (Array.length ops)) in
+    let arity = match op with N.Mux -> 3 | _ -> 2 in
+    let fanins = Array.init arity (fun _ -> pick ()) in
+    fanins.(Logic.Prng.int rng arity) <- !node;
+    node := N.add_node t op fanins;
+    pool := !node :: !pool
+  done;
+  !node
+
+let generate ~width ~features ?(control_blocks = 0) ?(seed = 1L) () =
+  let t = N.create () in
+  let rng = Logic.Prng.create seed in
+  let a = Arith.input_bus t "a" width in
+  let b = Arith.input_bus t "b" width in
+  let has feat = List.mem feat features in
+  let results = ref [] in
+  if has Add then begin
+    let sum, carry = Arith.ripple_adder t a b in
+    results := (sum, Some carry) :: !results
+  end;
+  if has Sub then begin
+    let diff, borrow = Arith.subtractor t a b in
+    results := (diff, Some borrow) :: !results
+  end;
+  if has Bitwise then begin
+    results := (Arith.bitwise t N.And a b, None) :: !results;
+    results := (Arith.bitwise t N.Or a b, None) :: !results;
+    results := (Arith.bitwise t N.Xor a b, None) :: !results
+  end;
+  if has Shift then begin
+    (* Left shift by one with zero fill, and rotate. *)
+    let zero = Arith.constant t false in
+    let shl = Array.init width (fun i -> if i = 0 then zero else a.(i - 1)) in
+    let rot = Array.init width (fun i -> a.((i + width - 1) mod width)) in
+    results := (shl, None) :: !results;
+    results := (rot, None) :: !results
+  end;
+  (* Pad the result list to a power of two with the pass-through operand. *)
+  let choices = ref (List.rev_map fst !results) in
+  let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k) in
+  let target = next_pow2 (max 1 (List.length !choices)) 1 in
+  while List.length !choices < target do
+    choices := a :: !choices
+  done;
+  let sel_width = int_of_float (log (float_of_int target) /. log 2.0 +. 0.5) in
+  let opcode = Arith.input_bus t "op" (max 1 sel_width) in
+  let result =
+    if target = 1 then List.hd !choices
+    else Arith.mux_tree t (Array.sub opcode 0 sel_width) (Array.of_list !choices)
+  in
+  Arith.output_bus t "r" result;
+  (* Flags. *)
+  let nresult = Array.map (fun id -> N.add_node t N.Not [| id |]) result in
+  N.add_output t "zero" (Arith.and_tree t nresult);
+  if has Parity then N.add_output t "par" (Arith.parity_tree t result);
+  if has Compare then begin
+    N.add_output t "eq" (Arith.equal_comparator t a b);
+    N.add_output t "lt" (Arith.less_than t a b)
+  end;
+  (* Control blocks over dedicated inputs, mixed with opcode bits. *)
+  if control_blocks > 0 then begin
+    let ctl = Arith.input_bus t "ctl" (2 * control_blocks) in
+    let support = Array.append ctl opcode in
+    for i = 0 to control_blocks - 1 do
+      let out = control_cone t rng support (8 + Logic.Prng.int rng 8) in
+      N.add_output t (Printf.sprintf "k%d" i) out
+    done
+  end;
+  t

@@ -1,0 +1,17 @@
+(** Parameterized ALU-and-control generator — the C2670/C3540/C5315/C7552
+    and dalu-like workloads.
+
+    Those ISCAS-85/MCNC circuits are ALUs with surrounding control and
+    selection logic. The generator builds a [width]-bit datapath with the
+    selected set of operations (add, subtract, bitwise logic, comparisons,
+    parity), an operation mux tree, and optional extra random control logic
+    to emulate the control-dominated parts. *)
+
+type feature = Add | Sub | Bitwise | Compare | Parity | Shift
+
+val generate :
+  width:int -> features:feature list -> ?control_blocks:int -> ?seed:int64 -> unit -> Nets.Netlist.t
+(** Inputs: operands [a*], [b*], opcode [op*]; [control_blocks] extra seeded
+    random control cones over dedicated [ctl*] inputs. Outputs: result bus
+    [r*], flags ([zero], [ovf] when meaningful, [par], [lt], [eq]), and one
+    [k*] output per control block. *)

@@ -1,0 +1,18 @@
+(** Parallel CRC engines — a sequential, XOR-dominated workload.
+
+    A cyclic-redundancy-check circuit shifts [data_width] input bits per
+    clock into an LFSR defined by a polynomial: nothing but XOR trees
+    feeding registers, i.e. the best possible showcase for the ambipolar
+    library's embedded-XOR cells under a clock. *)
+
+val crc32_polynomial : int32
+(** The IEEE 802.3 polynomial (0xEDB88320, reflected form). *)
+
+val generate : ?polynomial:int32 -> data_width:int -> unit -> Nets.Seq.t
+(** Sequential circuit: inputs [d0..d<w-1>] (LSB first = first bit shifted
+    in), 32 state registers [s0..s31], outputs [crc0..crc31] exposing the
+    next state. One clock consumes [data_width] message bits. *)
+
+val reference_step : ?polynomial:int32 -> int32 -> data:bool array -> int32
+(** Software model of one clock: fold the data bits (index order) into the
+    running CRC state. Used to cross-check the circuit. *)

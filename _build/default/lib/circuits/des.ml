@@ -1,0 +1,63 @@
+module N = Nets.Netlist
+module T = Logic.Truthtable
+
+(* DES expansion: 32 -> 48, taking overlapping 6-bit windows of 4-bit
+   groups with their neighbours (standard E-table structure). *)
+let expansion half =
+  Array.init 48 (fun i ->
+      let group = i / 6 and pos = i mod 6 in
+      let bit = ((group * 4) + pos - 1 + 32) mod 32 in
+      half.(bit))
+
+(* Balanced random 6->4 S-box: each output column is a random balanced
+   6-variable function (32 ones), like the real S-boxes. *)
+let sbox_tables rng =
+  Array.init 4 (fun _ ->
+      let bits = Array.make 64 false in
+      Array.fill bits 0 32 true;
+      for i = 63 downto 1 do
+        let j = Logic.Prng.int rng (i + 1) in
+        let tmp = bits.(i) in
+        bits.(i) <- bits.(j);
+        bits.(j) <- tmp
+      done;
+      T.of_bits 6 bits)
+
+let generate ~rounds ?(seed = 3L) () =
+  let t = N.create () in
+  let rng = Logic.Prng.create seed in
+  let block = Arith.input_bus t "x" 64 in
+  let keys =
+    Array.init rounds (fun r -> Arith.input_bus t (Printf.sprintf "k%d_" r) 48)
+  in
+  (* Per-round structural constants are fixed per instance (like real DES,
+     where every round shares E/P/S). *)
+  let sboxes = Array.init 8 (fun _ -> sbox_tables rng) in
+  let perm_order =
+    let order = Array.init 32 (fun i -> i) in
+    for i = 31 downto 1 do
+      let j = Logic.Prng.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    order
+  in
+  let left = ref (Array.sub block 0 32) in
+  let right = ref (Array.sub block 32 32) in
+  for r = 0 to rounds - 1 do
+    let expanded = expansion !right in
+    let mixed = Array.map2 (fun x k -> N.add_node t N.Xor [| x; k |]) expanded keys.(r) in
+    let substituted =
+      Array.concat
+        (List.init 8 (fun s ->
+             let window = Array.sub mixed (s * 6) 6 in
+             Array.map (fun tt -> N.add_node t (N.Lut tt) window) sboxes.(s)))
+    in
+    let permuted = Array.map (fun i -> substituted.(i)) perm_order in
+    let new_right = Array.map2 (fun l p -> N.add_node t N.Xor [| l; p |]) !left permuted in
+    left := !right;
+    right := new_right
+  done;
+  Arith.output_bus t "y" (Array.append !left !right);
+  t

@@ -1,0 +1,13 @@
+(** Feistel block-cipher rounds — the des-like workload.
+
+    The MCNC [des] benchmark is the DES data path. This generator builds
+    the same structure: per round, a 32-to-48-bit expansion, key XOR, eight
+    6-to-4-bit S-boxes, a bit permutation and the Feistel XOR/swap. The
+    S-box contents are deterministic seeded random balanced tables rather
+    than the FIPS 46-3 constants (see DESIGN.md: the logic style — dense
+    random LUTs fed and followed by XOR layers — is what matters for the
+    power comparison, not cryptographic fidelity). *)
+
+val generate : rounds:int -> ?seed:int64 -> unit -> Nets.Netlist.t
+(** Inputs: 64-bit block [x*] and one 48-bit round key [k<r>_*] per round;
+    outputs the 64-bit result [y*]. *)

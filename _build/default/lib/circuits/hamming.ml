@@ -1,0 +1,64 @@
+module N = Nets.Netlist
+
+(* Hamming code with data bits placed at non-power-of-two codeword
+   positions 1..; check bit i covers positions with bit i set. *)
+
+let check_bits_for data_bits =
+  let rec go r = if 1 lsl r >= data_bits + r + 1 then r else go (r + 1) in
+  go 2
+
+(* Codeword positions (1-based) of the data bits, in order. *)
+let data_positions data_bits =
+  let rec collect pos acc remaining =
+    if remaining = 0 then List.rev acc
+    else if pos land (pos - 1) = 0 then collect (pos + 1) acc remaining
+    else collect (pos + 1) (pos :: acc) (remaining - 1)
+  in
+  Array.of_list (collect 1 [] data_bits)
+
+let syndrome_trees t data positions r =
+  Array.init r (fun i ->
+      let covered =
+        Array.to_list data
+        |> List.mapi (fun j id -> (positions.(j), id))
+        |> List.filter (fun (pos, _) -> (pos lsr i) land 1 = 1)
+        |> List.map snd
+      in
+      Arith.parity_tree t (Array.of_list covered))
+
+let encoder ~data_bits =
+  let t = N.create () in
+  let data = Arith.input_bus t "d" data_bits in
+  let r = check_bits_for data_bits in
+  let positions = data_positions data_bits in
+  let checks = syndrome_trees t data positions r in
+  Arith.output_bus t "c" checks;
+  t
+
+let corrector ~data_bits =
+  let t = N.create () in
+  let data = Arith.input_bus t "d" data_bits in
+  let r = check_bits_for data_bits in
+  let received = Arith.input_bus t "c" r in
+  let positions = data_positions data_bits in
+  let recomputed = syndrome_trees t data positions r in
+  (* Syndrome: xor of received and recomputed check bits. Non-zero syndrome
+     equal to a data position flips that bit. *)
+  let syndrome =
+    Array.init r (fun i -> N.add_node t N.Xor [| recomputed.(i); received.(i) |])
+  in
+  let nsyndrome = Array.map (fun id -> N.add_node t N.Not [| id |]) syndrome in
+  let corrected =
+    Array.mapi
+      (fun j id ->
+        let pos = positions.(j) in
+        let hit_terms =
+          Array.init r (fun i -> if (pos lsr i) land 1 = 1 then syndrome.(i) else nsyndrome.(i))
+        in
+        let hit = Arith.and_tree t hit_terms in
+        N.add_node t N.Xor [| id; hit |])
+      data
+  in
+  Arith.output_bus t "o" corrected;
+  N.add_output t "err" (Arith.or_tree t syndrome);
+  t

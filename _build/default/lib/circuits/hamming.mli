@@ -1,0 +1,20 @@
+(** Hamming single-error-correcting circuits — the C1355/C1908-like
+    workloads.
+
+    ISCAS-85 C499/C1355 implement a 32-bit single-error-correcting decoder
+    and C1908 a 16-bit SEC/DED circuit; both are parity/syndrome logic,
+    which is why they profit most from XOR-capable libraries. The
+    generators below produce the same structure for arbitrary data width:
+    syndrome computation over received data + check bits, syndrome decode,
+    and correction XORs. *)
+
+val encoder : data_bits:int -> Nets.Netlist.t
+(** Inputs [d*]; outputs the check bits [c*] (one per syndrome position). *)
+
+val corrector : data_bits:int -> Nets.Netlist.t
+(** Inputs: received data [d*] and received check bits [c*]; outputs the
+    corrected data word [o*] plus an error indicator [err]. Single-bit
+    errors in the data are corrected. *)
+
+val check_bits_for : int -> int
+(** Number of Hamming check bits needed for the given data width. *)

@@ -1,0 +1,42 @@
+module N = Nets.Netlist
+
+let generate ~width =
+  let t = N.create () in
+  let a = Arith.input_bus t "a" width in
+  let b = Arith.input_bus t "b" width in
+  (* Partial-product plane. *)
+  let pp =
+    Array.init width (fun j -> Array.init width (fun i -> N.add_node t N.And [| a.(i); b.(j) |]))
+  in
+  (* Carry-save reduction, row by row: running sum of width bits plus the
+     product bits already finalized. *)
+  let product = Array.make (2 * width) 0 in
+  let zero = Arith.constant t false in
+  Array.fill product 0 (2 * width) zero;
+  (* Row 0 initializes the running sum. *)
+  let sum = Array.copy pp.(0) in
+  let carries = Array.make width zero in
+  product.(0) <- sum.(0);
+  let sum = ref (Array.append (Array.sub sum 1 (width - 1)) [| zero |]) in
+  let carries = ref carries in
+  for j = 1 to width - 1 do
+    let new_sum = Array.make width zero in
+    let new_carries = Array.make width zero in
+    for i = 0 to width - 1 do
+      let s, c = Arith.full_adder t pp.(j).(i) !sum.(i) !carries.(i) in
+      new_sum.(i) <- s;
+      new_carries.(i) <- c
+    done;
+    product.(j) <- new_sum.(0);
+    sum := Array.append (Array.sub new_sum 1 (width - 1)) [| zero |];
+    carries := new_carries
+  done;
+  (* Final ripple stage merges the remaining sum and carry vectors. *)
+  (* The final ripple carry is arithmetically zero (the product fits in
+     2*width bits), so it is dropped. *)
+  let final, _carry_out = Arith.ripple_adder t !sum !carries in
+  for i = 0 to width - 1 do
+    product.(width + i) <- final.(i)
+  done;
+  Arith.output_bus t "p" product;
+  t

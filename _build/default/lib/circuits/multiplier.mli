@@ -1,0 +1,10 @@
+(** Array multiplier generator — the C6288-like workload.
+
+    ISCAS-85 C6288 is a 16x16 array multiplier built from a grid of half and
+    full adders; this generator reproduces that structure (partial-product
+    AND plane + carry-save adder array + ripple final stage), giving the
+    multiplier's characteristic XOR-dominated profile. *)
+
+val generate : width:int -> Nets.Netlist.t
+(** [generate ~width] multiplies two [width]-bit unsigned operands [a] and
+    [b] into a [2*width]-bit product [p]. *)

@@ -1,0 +1,47 @@
+module N = Nets.Netlist
+
+let generate ~inputs ~gates ~outputs ?(xor_fraction = 0.15) ?(seed = 7L) () =
+  let t = N.create () in
+  let rng = Logic.Prng.create seed in
+  let ins = Arith.input_bus t "x" inputs in
+  let nodes = ref (Array.to_list ins) in
+  let recent = ref [] in
+  let pick_any () =
+    let arr = Array.of_list !nodes in
+    arr.(Logic.Prng.int rng (Array.length arr))
+  in
+  (* Bias one operand towards recent nodes so depth grows and fanout
+     reconverges, like real multi-level control logic. *)
+  let pick_recent () =
+    match !recent with
+    | [] -> pick_any ()
+    | r ->
+        let arr = Array.of_list r in
+        arr.(Logic.Prng.int rng (Array.length arr))
+  in
+  for _ = 1 to gates do
+    let use_xor = Logic.Prng.float rng < xor_fraction in
+    let op =
+      if use_xor then if Logic.Prng.bool rng then N.Xor else N.Xnor
+      else
+        match Logic.Prng.int rng 5 with
+        | 0 -> N.And
+        | 1 -> N.Or
+        | 2 -> N.Nand
+        | 3 -> N.Nor
+        | _ -> N.Mux
+    in
+    let arity = match op with N.Mux -> 3 | _ -> 2 in
+    let fanins = Array.init arity (fun _ -> pick_any ()) in
+    fanins.(0) <- pick_recent ();
+    let id = N.add_node t op fanins in
+    nodes := id :: !nodes;
+    recent := id :: (if List.length !recent > 24 then List.filteri (fun i _ -> i < 24) !recent else !recent)
+  done;
+  (* Outputs come from the most recent (deepest) gates. *)
+  let arr = Array.of_list !recent in
+  for i = 0 to outputs - 1 do
+    let id = if i < Array.length arr then arr.(i) else pick_any () in
+    N.add_output t (Printf.sprintf "f%d" i) id
+  done;
+  t

@@ -1,0 +1,17 @@
+(** Seeded random multi-level logic — the i8/i10/t481-like "logic"
+    workloads.
+
+    The MCNC benchmarks i8, i10 and t481 are unstructured multi-level
+    control logic. This generator produces deterministic random netlists of
+    comparable size: layered random 2-3-input gates over a declared input
+    set, with reconvergent fanout, a controllable XOR fraction and a set of
+    primary outputs drawn from the deepest layer. *)
+
+val generate :
+  inputs:int ->
+  gates:int ->
+  outputs:int ->
+  ?xor_fraction:float ->
+  ?seed:int64 ->
+  unit ->
+  Nets.Netlist.t

@@ -1,0 +1,123 @@
+type entry = {
+  name : string;
+  description : string;
+  generate : unit -> Nets.Netlist.t;
+}
+
+let all =
+  [
+    {
+      name = "C2670";
+      description = "ALU and control";
+      generate =
+        (fun () ->
+          Alu.generate ~width:12 ~features:[ Alu.Add; Alu.Bitwise; Alu.Compare ]
+            ~control_blocks:24 ~seed:2670L ());
+    };
+    {
+      name = "C1908";
+      description = "Error correcting";
+      generate = (fun () -> Hamming.corrector ~data_bits:16);
+    };
+    {
+      name = "C3540";
+      description = "ALU and control";
+      generate =
+        (fun () ->
+          Alu.generate ~width:16
+            ~features:[ Alu.Add; Alu.Sub; Alu.Bitwise; Alu.Parity; Alu.Shift ]
+            ~control_blocks:32 ~seed:3540L ());
+    };
+    {
+      name = "dalu";
+      description = "Dedicated ALU";
+      generate =
+        (fun () ->
+          Alu.generate ~width:16 ~features:[ Alu.Add; Alu.Sub; Alu.Compare; Alu.Parity ]
+            ~control_blocks:40 ~seed:9L ());
+    };
+    {
+      name = "C7552";
+      description = "ALU and control";
+      generate =
+        (fun () ->
+          Alu.generate ~width:32
+            ~features:[ Alu.Add; Alu.Sub; Alu.Bitwise; Alu.Compare; Alu.Parity ]
+            ~control_blocks:48 ~seed:7552L ());
+    };
+    {
+      name = "C6288";
+      description = "Multiplier";
+      generate = (fun () -> Multiplier.generate ~width:16);
+    };
+    {
+      name = "C5315";
+      description = "ALU and selector";
+      generate =
+        (fun () ->
+          Alu.generate ~width:24 ~features:[ Alu.Add; Alu.Bitwise; Alu.Shift; Alu.Compare ]
+            ~control_blocks:36 ~seed:5315L ());
+    };
+    {
+      name = "des";
+      description = "Data encryption";
+      generate = (fun () -> Des.generate ~rounds:2 ~seed:46L ());
+    };
+    {
+      name = "i10";
+      description = "Logic";
+      generate =
+        (fun () ->
+          Randlogic.generate ~inputs:128 ~gates:1400 ~outputs:120 ~xor_fraction:0.12
+            ~seed:10L ());
+    };
+    {
+      name = "t481";
+      description = "Logic";
+      generate =
+        (fun () ->
+          Randlogic.generate ~inputs:16 ~gates:600 ~outputs:1 ~xor_fraction:0.30 ~seed:481L ());
+    };
+    {
+      name = "i8";
+      description = "Logic";
+      generate =
+        (fun () ->
+          Randlogic.generate ~inputs:100 ~gates:800 ~outputs:80 ~xor_fraction:0.10 ~seed:8L ());
+    };
+    {
+      name = "C1355";
+      description = "Error correcting";
+      generate = (fun () -> Hamming.corrector ~data_bits:32);
+    };
+  ]
+
+let find name = List.find (fun e -> e.name = name) all
+
+let small =
+  [
+    {
+      name = "mult8";
+      description = "8x8 multiplier";
+      generate = (fun () -> Multiplier.generate ~width:8);
+    };
+    {
+      name = "ham8";
+      description = "8-bit corrector";
+      generate = (fun () -> Hamming.corrector ~data_bits:8);
+    };
+    {
+      name = "alu4";
+      description = "4-bit ALU";
+      generate =
+        (fun () ->
+          Alu.generate ~width:4 ~features:[ Alu.Add; Alu.Bitwise; Alu.Compare ]
+            ~control_blocks:4 ~seed:4L ());
+    };
+    {
+      name = "rand200";
+      description = "random logic";
+      generate =
+        (fun () -> Randlogic.generate ~inputs:24 ~gates:200 ~outputs:16 ~seed:200L ());
+    };
+  ]

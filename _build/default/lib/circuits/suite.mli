@@ -1,0 +1,21 @@
+(** The 12-circuit benchmark suite of Table 1.
+
+    Each entry names a row of the paper's Table 1 and generates a
+    functionally-similar circuit of the same size class and logic style
+    (see DESIGN.md for the substitution rationale: the ISCAS-85/MCNC
+    originals are distributed as netlists we do not ship). *)
+
+type entry = {
+  name : string;  (** the paper's circuit name, e.g. "C6288" *)
+  description : string;  (** the paper's "Function" column *)
+  generate : unit -> Nets.Netlist.t;
+}
+
+val all : entry list
+(** In the paper's Table 1 row order: C2670, C1908, C3540, dalu, C7552,
+    C6288, C5315, des, i10, t481, i8, C1355. *)
+
+val find : string -> entry
+
+val small : entry list
+(** Reduced-size variants of a few representative rows, for fast tests. *)

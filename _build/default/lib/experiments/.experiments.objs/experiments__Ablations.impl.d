@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Aigs Cell Circuits List Printf Report Techmap

@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamic.ml: Cell Format List Power Report

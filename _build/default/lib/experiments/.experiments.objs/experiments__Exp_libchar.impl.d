@@ -1,0 +1,1 @@
+lib/experiments/exp_libchar.ml: Cell Format List Power Report Spice

@@ -1,0 +1,1 @@
+lib/experiments/exp_patterns.ml: Array Cell Format List Power Printf Report Spice

@@ -1,0 +1,1 @@
+lib/experiments/exp_pla.ml: Aigs Array Cell Circuits Format List Nets Pla Printf Report Techmap

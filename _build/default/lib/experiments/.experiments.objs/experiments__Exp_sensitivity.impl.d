@@ -1,0 +1,1 @@
+lib/experiments/exp_sensitivity.ml: Array Cell Float Format List Logic Power Printf Report Spice

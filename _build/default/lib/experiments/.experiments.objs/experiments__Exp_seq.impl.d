@@ -1,0 +1,1 @@
+lib/experiments/exp_seq.ml: Cell Circuits Format List Report Techmap

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Aigs Array Cell Circuits Format List Printf Report Techmap

@@ -1,0 +1,96 @@
+module A = Aigs.Aig
+module G = Cell.Genlib
+
+type mapping_stats = { gates : int; area : float; delay : float }
+
+let stats m =
+  {
+    gates = Techmap.Mapped.num_gates m;
+    area = Techmap.Mapped.area m;
+    delay = Techmap.Mapped.delay m;
+  }
+
+let prepared circuit =
+  let entry = Circuits.Suite.find circuit in
+  let nl = entry.Circuits.Suite.generate () in
+  let aig = A.of_netlist nl in
+  (aig, Aigs.Opt.resyn2rs aig)
+
+let a2_objective ?(circuit = "C6288") () =
+  let _, opt = prepared circuit in
+  let ml = Techmap.Matchlib.build G.generalized_cntfet in
+  [
+    ("delay-oriented", stats (Techmap.Mapper.map ~objective:Techmap.Mapper.Delay ml opt));
+    ("area-oriented", stats (Techmap.Mapper.map ~objective:Techmap.Mapper.Area ml opt));
+  ]
+
+let a3_script ?(circuit = "C6288") () =
+  let raw, opt = prepared circuit in
+  let ml = Techmap.Matchlib.build G.generalized_cntfet in
+  [
+    ("raw AIG", stats (Techmap.Mapper.map ml raw));
+    ("resyn2rs", stats (Techmap.Mapper.map ml opt));
+  ]
+
+let a4_cut_size ?(circuit = "C6288") () =
+  let _, opt = prepared circuit in
+  let ml = Techmap.Matchlib.build G.generalized_cntfet in
+  List.map (fun k -> (k, stats (Techmap.Mapper.map ~k ml opt))) [ 4; 5; 6 ]
+
+let a5_no_xor_cells ?(circuit = "C6288") () =
+  let _, opt = prepared circuit in
+  let full = G.generalized_cntfet in
+  let reduced =
+    {
+      full with
+      G.name = "cntfet-generalized-noxor";
+      G.gates =
+        List.filter (fun g -> not g.G.cell.Cell.Cells.generalized) full.G.gates;
+    }
+  in
+  [
+    ("full generalized", stats (Techmap.Mapper.map (Techmap.Matchlib.build full) opt));
+    ("XOR cells removed", stats (Techmap.Mapper.map (Techmap.Matchlib.build reduced) opt));
+  ]
+
+let a6_wire_load ?(circuit = "C1355") () =
+  let _, opt = prepared circuit in
+  let gen = Techmap.Mapper.map (Techmap.Matchlib.build G.generalized_cntfet) opt in
+  let cmos = Techmap.Mapper.map (Techmap.Matchlib.build G.cmos) opt in
+  List.map
+    (fun wire_aF ->
+      let wire = wire_aF *. 1e-18 in
+      let rg = Techmap.Estimate.run ~patterns:65536 ~wire_cap_per_fanout:wire gen in
+      let rc = Techmap.Estimate.run ~patterns:65536 ~wire_cap_per_fanout:wire cmos in
+      (wire_aF, rg.Techmap.Estimate.total *. 1e6, rc.Techmap.Estimate.total *. 1e6))
+    [ 0.0; 10.0; 25.0; 50.0; 100.0 ]
+
+let table ppf title rows =
+  Report.render ppf
+    {
+      Report.title;
+      headers = [| "Variant"; "Gates"; "Area (T)"; "Delay (ps)" |];
+      rows =
+        List.map
+          (fun (name, s) ->
+            [| name; string_of_int s.gates; Report.f1 s.area; Report.f1 (s.delay *. 1e12) |])
+          rows;
+    }
+
+let print ppf () =
+  table ppf "A2: mapping objective (C6288, generalized library)" (a2_objective ());
+  table ppf "A3: optimization script before mapping (C6288)" (a3_script ());
+  table ppf "A4: mapper cut size K (C6288)"
+    (List.map (fun (k, s) -> (Printf.sprintf "K=%d" k, s)) (a4_cut_size ()));
+  table ppf "A5: generalized library with XOR-embedding cells removed (C6288)"
+    (a5_no_xor_cells ());
+  Report.render ppf
+    {
+      Report.title = "A6: lumped wire load sweep (C1355), total power";
+      headers = [| "Wire cap/fanout (aF)"; "GEN PT (uW)"; "CMOS PT (uW)"; "saving" |];
+      rows =
+        List.map
+          (fun (w, pg, pc) ->
+            [| Report.f1 w; Report.f2 pg; Report.f2 pc; Report.pct (1.0 -. (pg /. pc)) |])
+          (a6_wire_load ());
+    }

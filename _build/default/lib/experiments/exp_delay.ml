@@ -1,0 +1,37 @@
+type result = {
+  cmos_delay : float;
+  cntfet_delay : float;
+  ratio : float;
+  cmos_tau : float;
+  cntfet_tau : float;
+}
+
+let run () =
+  let cmos_delay = Spice.Transient.inverter_delay Spice.Tech.cmos in
+  let cntfet_delay = Spice.Transient.inverter_delay Spice.Tech.cntfet in
+  {
+    cmos_delay;
+    cntfet_delay;
+    ratio = cmos_delay /. cntfet_delay;
+    cmos_tau = Spice.Tech.cmos.Spice.Tech.tau;
+    cntfet_tau = Spice.Tech.cntfet.Spice.Tech.tau;
+  }
+
+let print ppf r =
+  Report.render ppf
+    {
+      Report.title = "E9: intrinsic inverter delay from transient analysis";
+      headers = [| "Corner"; "Measured (ps)"; "Genlib tau (ps)" |];
+      rows =
+        [
+          [| "cmos-32nm"; Report.f2 (r.cmos_delay *. 1e12); Report.f2 (r.cmos_tau *. 1e12) |];
+          [|
+            "cntfet-32nm";
+            Report.f2 (r.cntfet_delay *. 1e12);
+            Report.f2 (r.cntfet_tau *. 1e12);
+          |];
+        ];
+    };
+  Format.fprintf ppf
+    "Measured MOSFET/CNTFET intrinsic delay ratio: %.2fx (paper, citing Deng et al.: 5x)@."
+    r.ratio

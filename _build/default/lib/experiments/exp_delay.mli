@@ -1,0 +1,19 @@
+(** Experiment E9: the intrinsic-delay technology booster.
+
+    Table 1 rests on the claim (taken by the paper from Deng et al. [10])
+    that "the intrinsic CNTFET delay is 5x lower than the MOSFET delay".
+    Here the claim is derived instead of assumed: the transient engine
+    steps an inverter of each corner into its fanout-3 characterization
+    load and measures the 50 %-crossing propagation delay, which is then
+    compared with the per-stage tau used by the genlib timing model. *)
+
+type result = {
+  cmos_delay : float;  (** measured, s *)
+  cntfet_delay : float;  (** measured, s *)
+  ratio : float;
+  cmos_tau : float;  (** the genlib timing parameter *)
+  cntfet_tau : float;
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

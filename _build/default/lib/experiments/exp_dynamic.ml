@@ -1,0 +1,51 @@
+module D = Cell.Dynlogic
+
+type result = {
+  reconf_functions : int;
+  reconf_transistors : int;
+  gnor2_functions : int;
+  gnor2_transistors : int;
+  gnor2_dynamic_alpha : float;
+  static_gnor2_alpha : float;
+}
+
+let run () =
+  let reconf = D.reconfigurable2 in
+  let gnor2 = D.gnor 2 in
+  let worst_alpha gate =
+    let worst = ref 0.0 in
+    for config = 0 to (1 lsl gate.D.config_pins) - 1 do
+      worst := max !worst (D.eval_alpha gate ~config)
+    done;
+    !worst
+  in
+  {
+    reconf_functions = List.length (D.achievable_functions reconf);
+    reconf_transistors = D.num_transistors reconf;
+    gnor2_functions = List.length (D.achievable_functions gnor2);
+    gnor2_transistors = D.num_transistors gnor2;
+    gnor2_dynamic_alpha = worst_alpha gnor2;
+    static_gnor2_alpha =
+      Power.Activity.gate_alpha (Cell.Cells.tt (Cell.Cells.find "GNOR2"));
+  }
+
+let print ppf r =
+  Report.render ppf
+    {
+      Report.title = "E10 (extension): dynamic / reconfigurable ambipolar cells";
+      headers = [| "Cell"; "Transistors"; "Distinct 2-input functions" |];
+      rows =
+        [
+          [| "dyn-RECONF2"; string_of_int r.reconf_transistors; string_of_int r.reconf_functions |];
+          [| "dyn-GNOR2"; string_of_int r.gnor2_transistors; string_of_int r.gnor2_functions |];
+        ];
+    };
+  Format.fprintf ppf
+    "(background [5]: eight functions of two inputs from seven CNTFETs)@.";
+  Format.fprintf ppf
+    "Worst-case per-cycle activity of dynamic GNOR2: %s vs %s for the static GNOR2 —@."
+    (Report.pct r.gnor2_dynamic_alpha)
+    (Report.pct r.static_gnor2_alpha);
+  Format.fprintf ppf
+    "the precharge/evaluate discipline burns the XOR-embedding advantage, which is why@.";
+  Format.fprintf ppf "the paper builds its library in static transmission-gate logic.@."

@@ -1,0 +1,22 @@
+(** Experiment E10 (extension): dynamic and reconfigurable ambipolar logic
+    — the background claims of Section 2.2.
+
+    Quantifies (a) the expressive power of the in-field reconfigurable
+    dynamic cells (O'Connor et al. report eight 2-input functions from
+    seven CNTFETs; our series/parallel cell reaches more with six), (b) the
+    dynamic GNOR's function family, and (c) why the paper's static library
+    wins on power: the evaluate-precharge activity of a dynamic GNOR far
+    exceeds the combinational activity factor of the static generalized
+    NOR. *)
+
+type result = {
+  reconf_functions : int;
+  reconf_transistors : int;
+  gnor2_functions : int;
+  gnor2_transistors : int;
+  gnor2_dynamic_alpha : float;  (** worst configuration *)
+  static_gnor2_alpha : float;
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

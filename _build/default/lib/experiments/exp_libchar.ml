@@ -1,0 +1,93 @@
+module C = Power.Characterize
+module G = Cell.Genlib
+module P = Power.Powermodel
+
+type result = {
+  generalized : C.library_char;
+  conventional : C.library_char;
+  cmos : C.library_char;
+  saving_vs_cmos : float;
+  saving_conv_vs_cmos : float;
+  alpha_nand2 : float;
+  alpha_nor2 : float;
+  alpha_xor2 : float;
+  pg_over_ps_cmos : float;
+  pg_over_ps_cntfet : float;
+  inv_cap_cntfet : float;
+  inv_cap_cmos : float;
+}
+
+let run () =
+  let generalized = C.characterize G.generalized_cntfet in
+  let conventional = C.characterize G.conventional_cntfet in
+  let cmos = C.characterize G.cmos in
+  let alpha name = Power.Activity.gate_alpha (Cell.Cells.tt (Cell.Cells.find name)) in
+  {
+    generalized;
+    conventional;
+    cmos;
+    saving_vs_cmos = C.compare_totals generalized cmos;
+    saving_conv_vs_cmos = C.compare_totals conventional cmos;
+    alpha_nand2 = alpha "NAND2";
+    alpha_nor2 = alpha "NOR2";
+    alpha_xor2 = alpha "XOR2";
+    pg_over_ps_cmos = cmos.C.avg_gate_leak /. cmos.C.avg_static;
+    pg_over_ps_cntfet = generalized.C.avg_gate_leak /. generalized.C.avg_static;
+    inv_cap_cntfet = Spice.Tech.inverter_input_cap Spice.Tech.cntfet;
+    inv_cap_cmos = Spice.Tech.inverter_input_cap Spice.Tech.cmos;
+  }
+
+let gate_rows (lc : C.library_char) =
+  List.map
+    (fun (g : C.gate_char) ->
+      [|
+        g.C.gate.G.cell.Cell.Cells.name;
+        string_of_int g.C.gate.G.cell.Cell.Cells.pins;
+        Report.f2 g.C.alpha;
+        Report.f1 (g.C.area);
+        Report.f3 (P.total g.C.power *. 1e9);
+        Report.f3 (g.C.power.P.dynamic *. 1e9);
+        Report.f3 (g.C.power.P.static *. 1e12);
+        Report.f3 (g.C.power.P.gate_leak *. 1e12);
+      |])
+    lc.C.gates
+
+let print ppf r =
+  Report.render ppf
+    {
+      Report.title =
+        "E2: generalized ambipolar CNTFET library characterization (per gate)";
+      headers =
+        [| "Gate"; "Pins"; "alpha"; "Area(T)"; "PT(nW)"; "PD(nW)"; "PS(pW)"; "PG(pW)" |];
+      rows = gate_rows r.generalized;
+    };
+  Report.render ppf
+    {
+      Report.title = "E2: CMOS comparison library characterization (per gate)";
+      headers =
+        [| "Gate"; "Pins"; "alpha"; "Area(T)"; "PT(nW)"; "PD(nW)"; "PS(pW)"; "PG(pW)" |];
+      rows = gate_rows r.cmos;
+    };
+  Format.fprintf ppf "Average total power: generalized CNTFET %.3g nW, CMOS %.3g nW@."
+    (r.generalized.C.avg_total_power *. 1e9)
+    (r.cmos.C.avg_total_power *. 1e9);
+  Format.fprintf ppf "Per-cell saving of ambipolar library vs CMOS: %s (paper: 28%%)@."
+    (Report.pct r.saving_vs_cmos);
+  Format.fprintf ppf "Per-cell saving of conventional CNTFET vs CMOS: %s@."
+    (Report.pct r.saving_conv_vs_cmos);
+  Format.fprintf ppf
+    "E4 activity factors: NAND2 %s, NOR2 %s, XOR2 %s (paper: 25%%, 25%%, 50%%)@."
+    (Report.pct r.alpha_nand2) (Report.pct r.alpha_nor2) (Report.pct r.alpha_xor2);
+  Format.fprintf ppf
+    "E4 library-average alpha: generalized %.3f vs CMOS %.3f (paper: equal on average)@."
+    r.generalized.C.avg_alpha r.cmos.C.avg_alpha;
+  Format.fprintf ppf
+    "E5 gate-leak share PG/PS: CMOS %s, CNTFET %s (paper: ~10%% vs <1%%)@."
+    (Report.pct r.pg_over_ps_cmos)
+    (Report.pct r.pg_over_ps_cntfet);
+  Format.fprintf ppf
+    "E6 inverter input capacitance: CNTFET %.0f aF vs CMOS %.0f aF (paper: 36 vs 52 aF)@."
+    (r.inv_cap_cntfet *. 1e18) (r.inv_cap_cmos *. 1e18);
+  Format.fprintf ppf
+    "Static power ratio CMOS/CNTFET: %.1fx (paper: about one order of magnitude)@."
+    (r.cmos.C.avg_static /. r.generalized.C.avg_static)

@@ -1,0 +1,23 @@
+(** Experiment E2: library characterization for power (Section 4, first
+    half) — per-gate power breakdown of the generalized ambipolar CNTFET
+    library against the CMOS library, the 28 %-average-saving headline, and
+    the supporting claims E4 (activity factors), E5 (gate-leak share) and
+    E6 (inverter input capacitance). *)
+
+type result = {
+  generalized : Power.Characterize.library_char;
+  conventional : Power.Characterize.library_char;
+  cmos : Power.Characterize.library_char;
+  saving_vs_cmos : float;  (** mean per-cell total-power saving, shared cells *)
+  saving_conv_vs_cmos : float;
+  alpha_nand2 : float;
+  alpha_nor2 : float;
+  alpha_xor2 : float;
+  pg_over_ps_cmos : float;
+  pg_over_ps_cntfet : float;
+  inv_cap_cntfet : float;
+  inv_cap_cmos : float;
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

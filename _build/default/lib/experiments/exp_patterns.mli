@@ -1,0 +1,18 @@
+(** Experiments E3 and E8: the I_off pattern census ("26 different
+    patterns") and the NOR3 pattern-reduction example of Fig. 4, plus the
+    A1 ablation (classification vs brute-force: how many DC solves the
+    classification saves). *)
+
+type result = {
+  patterns : (Power.Pattern.t * float * float) list;
+      (** pattern, I_off in the CNTFET corner, I_off in the CMOS corner *)
+  nor3_parallel : float;  (** leakage at input 000 (three parallel offs) *)
+  nor3_series : float;  (** leakage at input 111 (series stack) *)
+  nor3_same_pattern_vectors : (int * int) list;
+      (** pairs of distinct input vectors sharing an I_off pattern *)
+  total_vectors : int;  (** gate-vector pairs examined across the library *)
+  dc_solves : int;  (** circuit simulations actually performed *)
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,26 @@
+(** Experiment E11 (extension): in-field programmable ambipolar PLAs.
+
+    The paper's reference [6] motivates ambipolar CNTFETs as the core of
+    reprogrammable PLAs: every array device's polarity gate is a
+    configuration input, so the complement input columns of a classic
+    NOR-NOR PLA disappear and the dies are field-reprogrammable. This
+    experiment collapses a set of control-style functions to two-level
+    form (Espresso-style minimization), costs the ambipolar and CMOS PLA
+    realizations, and compares against multi-level standard-cell mapping
+    with the generalized library. *)
+
+type row = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  terms : int;
+  literals : int;
+  ambipolar_transistors : int;
+  cmos_transistors : int;
+  cmos_inverters : int;
+  stdcell_gates : int;
+  stdcell_area : float;  (** transistors, generalized library mapping *)
+}
+
+val run : unit -> row list
+val print : Format.formatter -> row list -> unit

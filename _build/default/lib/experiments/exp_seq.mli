@@ -1,0 +1,17 @@
+(** Experiment E12 (extension): clocked circuits.
+
+    The paper evaluates combinational blocks; this extension closes the
+    loop for registered designs. A parallel CRC-32 engine (pure XOR trees
+    feeding 32 registers — the extreme case of the paper's "circuits that
+    contain binate operations") is mapped with the three libraries
+    including transmission-gate flip-flops; power is estimated by
+    cycle-accurate simulation of the mapped netlist so the state
+    distribution (not a uniform-input assumption) drives the activity, and
+    the clock tree, register switching and register leakage are charged
+    explicitly. The ambipolar register needs no complement-clock rail,
+    which shows up directly in the clock power. *)
+
+type row = { library : string; report : Techmap.Seqmap.report }
+
+val run : ?data_width:int -> ?cycles:int -> unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,145 @@
+module A = Aigs.Aig
+module E = Techmap.Estimate
+module G = Cell.Genlib
+
+type row = { name : string; description : string; results : (string * E.report) list }
+
+type summary = {
+  rows : row list;
+  averages : (string * E.report) list;
+  improvement_vs_cmos : (string * (string * float) list) list;
+}
+
+let run ?(patterns = E.default_patterns) ?(circuits = Circuits.Suite.all) ?(verify = true) () =
+  let matchlibs = List.map (fun lib -> (lib, Techmap.Matchlib.build lib)) G.all_libraries in
+  let rows =
+    List.map
+      (fun (entry : Circuits.Suite.entry) ->
+        let nl = entry.Circuits.Suite.generate () in
+        let aig = A.of_netlist nl in
+        let opt = Aigs.Opt.resyn2rs aig in
+        let results =
+          List.map
+            (fun (lib, ml) ->
+              let mapped = Techmap.Mapper.map ml opt in
+              if verify && not (Techmap.Mapped.check mapped nl ~patterns:512 ~seed:99L)
+              then
+                failwith
+                  (Printf.sprintf "Table1: %s mapped with %s is not equivalent"
+                     entry.Circuits.Suite.name lib.G.name);
+              (lib.G.name, E.run ~patterns mapped))
+            matchlibs
+        in
+        {
+          name = entry.Circuits.Suite.name;
+          description = entry.Circuits.Suite.description;
+          results;
+        })
+      circuits
+  in
+  let lib_names = List.map (fun (lib, _) -> lib.G.name) matchlibs in
+  let mean sel name =
+    let values = List.map (fun r -> sel (List.assoc name r.results)) rows in
+    List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+  in
+  let averages =
+    List.map
+      (fun name ->
+        ( name,
+          {
+            E.gates = int_of_float (mean (fun r -> float_of_int r.E.gates) name +. 0.5);
+            area = mean (fun r -> r.E.area) name;
+            delay = mean (fun r -> r.E.delay) name;
+            dynamic = mean (fun r -> r.E.dynamic) name;
+            short_circuit = mean (fun r -> r.E.short_circuit) name;
+            static = mean (fun r -> r.E.static) name;
+            gate_leak = mean (fun r -> r.E.gate_leak) name;
+            total = mean (fun r -> r.E.total) name;
+            edp = mean (fun r -> r.E.edp) name;
+          } ))
+      lib_names
+  in
+  let cmos_avg = List.assoc "cmos" averages in
+  let improvement_vs_cmos =
+    List.filter_map
+      (fun (name, avg) ->
+        if name = "cmos" then None
+        else
+          Some
+            ( name,
+              [
+                ("gates", 1.0 -. (float_of_int avg.E.gates /. float_of_int cmos_avg.E.gates));
+                ("delay", cmos_avg.E.delay /. avg.E.delay);
+                ("pd", 1.0 -. (avg.E.dynamic /. cmos_avg.E.dynamic));
+                ("ps", 1.0 -. (avg.E.static /. cmos_avg.E.static));
+                ("pt", 1.0 -. (avg.E.total /. cmos_avg.E.total));
+                ("edp", cmos_avg.E.edp /. avg.E.edp);
+              ] ))
+      averages
+  in
+  { rows; averages; improvement_vs_cmos }
+
+let print ppf summary =
+  let metric_cells (r : E.report) =
+    [
+      string_of_int r.E.gates;
+      Report.f1 (r.E.delay *. 1e12);
+      Report.f2 (r.E.dynamic *. 1e6);
+      Report.f2 (r.E.static *. 1e6);
+      Report.f2 (r.E.total *. 1e6);
+      Report.f2 (r.E.edp *. 1e24);
+    ]
+  in
+  let lib_names = List.map fst summary.averages in
+  let headers =
+    Array.of_list
+      ("Circuit" :: "Function"
+      :: List.concat_map
+           (fun lib ->
+             let tag =
+               match lib with
+               | "cntfet-generalized" -> "GEN"
+               | "cntfet-conventional" -> "CNV"
+               | "cmos" -> "CMOS"
+               | other -> other
+             in
+             List.map
+               (fun m -> tag ^ ":" ^ m)
+               [ "No."; "Delay"; "PD"; "PS"; "PT"; "EDP" ])
+           lib_names)
+  in
+  let rows =
+    List.map
+      (fun r ->
+        Array.of_list
+          (r.name :: r.description
+          :: List.concat_map (fun lib -> metric_cells (List.assoc lib r.results)) lib_names))
+      summary.rows
+  in
+  let avg_row =
+    Array.of_list
+      ("Average" :: ""
+      :: List.concat_map (fun lib -> metric_cells (List.assoc lib summary.averages)) lib_names)
+  in
+  Report.render ppf
+    {
+      Report.title =
+        "E1 / Table 1: gate count, delay (ps), PD (uW), PS (uW), PT (uW), EDP (1e-24 J.s)";
+      headers;
+      rows = rows @ [ avg_row ];
+    };
+  List.iter
+    (fun (lib, metrics) ->
+      Format.fprintf ppf "Improvement of %s vs CMOS: " lib;
+      List.iter
+        (fun (metric, v) ->
+          match metric with
+          | "delay" | "edp" -> Format.fprintf ppf "%s %s  " metric (Report.times v)
+          | _ -> Format.fprintf ppf "%s %s  " metric (Report.pct v))
+        metrics;
+      Format.fprintf ppf "@.")
+    summary.improvement_vs_cmos;
+  Format.fprintf ppf
+    "(paper: GEN vs CMOS gates -24.2%%, delay 7.1x, PD -53.4%%, PS -94.5%%, PT -57.1%%, EDP 19.5x;@.";
+  Format.fprintf ppf
+    " CNV vs CMOS gates -3.2%%, delay 5.1x, PD -30.9%%, PS -92.7%%, PT -36.7%%, EDP 8.1x)@."

@@ -1,0 +1,35 @@
+(** Experiment E1: Table 1 — logic synthesis and technology mapping of the
+    12-circuit suite with the three libraries, followed by random-pattern
+    power estimation.
+
+    Flow per circuit (Section 4 of the paper): generate -> AIG ->
+    resyn2rs-like optimization -> map with each genlib -> estimate power
+    with random patterns at f = 1 GHz, V_DD = 0.9 V. Every mapped netlist
+    is co-simulated against the generated reference before being reported. *)
+
+type row = {
+  name : string;
+  description : string;
+  results : (string * Techmap.Estimate.report) list;
+      (** keyed by library name, in {!Cell.Genlib.all_libraries} order *)
+}
+
+type summary = {
+  rows : row list;
+  averages : (string * Techmap.Estimate.report) list;  (** arithmetic means *)
+  improvement_vs_cmos : (string * (string * float) list) list;
+      (** per non-CMOS library: metric name -> ratio or saving *)
+}
+
+val run :
+  ?patterns:int ->
+  ?circuits:Circuits.Suite.entry list ->
+  ?verify:bool ->
+  unit ->
+  summary
+(** Defaults: 640 K patterns, the full 12-circuit suite, with verification.
+    Raises [Failure] if a mapped netlist fails co-simulation. *)
+
+val print : Format.formatter -> summary -> unit
+(** Render the Table-1-shaped report (gate count, delay, P_D, P_S, P_T, EDP
+    per library, plus the average and improvement rows). *)

@@ -1,0 +1,58 @@
+module C = Spice.Circuit
+module D = Spice.Device
+module T = Spice.Tech
+
+type config = { a : bool; b : bool; vin : float; vout : float; passing : bool }
+
+let solve ~a ~b ~vin =
+  let vdd = T.cntfet.T.vdd in
+  let volt x = if x then vdd else 0.0 in
+  let c = C.create () in
+  let src = C.node c "src" and out = C.node c "out" in
+  let na = C.node c "a" and nna = C.node c "na" in
+  let nb = C.node c "b" and nnb = C.node c "nb" in
+  C.add_vsource c src vin;
+  C.add_vsource c na (volt a);
+  C.add_vsource c nna (volt (not a));
+  C.add_vsource c nb (volt b);
+  C.add_vsource c nnb (volt (not b));
+  C.add_transistor c (D.Ambipolar T.cntfet) ~d:src ~g:nb ~s:out ~pg:na ();
+  C.add_transistor c (D.Ambipolar T.cntfet) ~d:src ~g:nnb ~s:out ~pg:nna ();
+  (* Weak load keeping the blocked output defined. *)
+  C.add_resistor c out C.ground 1.0e8;
+  let sol = C.solve c in
+  C.node_voltage sol out
+
+let run () =
+  let vdd = T.cntfet.T.vdd in
+  List.concat_map
+    (fun (a, b) ->
+      List.map
+        (fun vin -> { a; b; vin; vout = solve ~a ~b ~vin; passing = a <> b })
+        [ 0.0; vdd ])
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let print ppf configs =
+  Report.render ppf
+    {
+      Report.title = "E7 / Fig. 2: ambipolar transmission gate transfer";
+      headers = [| "A"; "B"; "A^B"; "Vin (V)"; "Vout (V)"; "verdict" |];
+      rows =
+        List.map
+          (fun c ->
+            let verdict =
+              if c.passing then
+                if abs_float (c.vout -. c.vin) < 0.05 then "good transmission"
+                else "DEGRADED"
+              else "blocked"
+            in
+            [|
+              (if c.a then "1" else "0");
+              (if c.b then "1" else "0");
+              (if c.passing then "1" else "0");
+              Report.f2 c.vin;
+              Report.f3 c.vout;
+              verdict;
+            |])
+          configs;
+    }

@@ -1,0 +1,15 @@
+(** Experiment E7 (Fig. 2): the ambipolar transmission gate transmits
+    without degradation in every passing configuration (A xor B = 1) and
+    blocks otherwise. DC-solves the two-device transmission gate driving a
+    weak load for all four control configurations and both input rails. *)
+
+type config = {
+  a : bool;
+  b : bool;
+  vin : float;
+  vout : float;
+  passing : bool;  (** A xor B *)
+}
+
+val run : unit -> config list
+val print : Format.formatter -> config list -> unit

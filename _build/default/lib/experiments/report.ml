@@ -1,0 +1,38 @@
+type t = { title : string; headers : string array; rows : string array list }
+
+let render ppf t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    t.rows;
+  let pad i s =
+    let w = widths.(i) in
+    let pad = w - String.length s in
+    if i = 0 then s ^ String.make pad ' ' else String.make pad ' ' ^ s
+  in
+  let line c =
+    Format.fprintf ppf "%s@."
+      (String.concat (String.make 1 c)
+         (Array.to_list (Array.map (fun w -> String.make (w + 2) c) widths)))
+  in
+  Format.fprintf ppf "@.== %s ==@." t.title;
+  line '-';
+  Format.fprintf ppf "%s@."
+    (String.concat "|"
+       (List.mapi (fun i h -> " " ^ pad i h ^ " ") (Array.to_list t.headers)));
+  line '-';
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@."
+        (String.concat "|"
+           (List.mapi (fun i c -> " " ^ pad i c ^ " ") (Array.to_list row))))
+    t.rows;
+  line '-'
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.0)
+let times v = Printf.sprintf "%.1fx" v

@@ -1,0 +1,16 @@
+(** Fixed-width table rendering for the experiment reports. *)
+
+type t = { title : string; headers : string array; rows : string array list }
+
+val render : Format.formatter -> t -> unit
+
+val f1 : float -> string
+val f2 : float -> string
+val f3 : float -> string
+(** Compact float formatting with 1/2/3 fraction digits. *)
+
+val pct : float -> string
+(** 0.281 -> "28.1%" *)
+
+val times : float -> string
+(** 7.05 -> "7.1x" *)

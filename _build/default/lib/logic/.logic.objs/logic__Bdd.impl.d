@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Expr Hashtbl List Truthtable

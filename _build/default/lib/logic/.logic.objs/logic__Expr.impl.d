@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Format Hashtbl Int List Option Printf Set Truthtable

@@ -1,0 +1,1 @@
+lib/logic/expr.mli: Format Truthtable

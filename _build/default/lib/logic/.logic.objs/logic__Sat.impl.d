@@ -1,0 +1,1 @@
+lib/logic/sat.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/logic/truthtable.ml: Array Format Hashtbl Int64 List Stdlib

@@ -1,0 +1,1 @@
+lib/logic/truthtable.mli: Format

@@ -1,0 +1,1 @@
+lib/logic/twolevel.mli: Truthtable

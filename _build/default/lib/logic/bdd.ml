@@ -1,0 +1,172 @@
+(* ROBDD with a unique table (hash-consing) and a binary-apply cache.
+   Nodes carry unique ids so memo keys are cheap. No complement edges:
+   simplicity over peak capacity, which is ample for the test workloads. *)
+
+type t = Leaf of bool | Node of node
+and node = { id : int; level : int; low : t; high : t }
+
+type manager = {
+  unique : (int * int * int, t) Hashtbl.t; (* (level, low id, high id) -> node *)
+  and_cache : (int * int, t) Hashtbl.t;
+  xor_cache : (int * int, t) Hashtbl.t;
+  not_cache : (int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let manager ?(cache_size = 1 lsl 14) () =
+  {
+    unique = Hashtbl.create cache_size;
+    and_cache = Hashtbl.create cache_size;
+    xor_cache = Hashtbl.create cache_size;
+    not_cache = Hashtbl.create 256;
+    next_id = 2;
+  }
+
+let id = function Leaf false -> 0 | Leaf true -> 1 | Node n -> n.id
+
+let mk m level low high =
+  if id low = id high then low
+  else begin
+    let key = (level, id low, id high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some node -> node
+    | None ->
+        let node = Node { id = m.next_id; level; low; high } in
+        m.next_id <- m.next_id + 1;
+        Hashtbl.replace m.unique key node;
+        node
+  end
+
+let zero _ = Leaf false
+let one _ = Leaf true
+let var m i = mk m i (Leaf false) (Leaf true)
+let nvar m i = mk m i (Leaf true) (Leaf false)
+
+let rec not_ m t =
+  match t with
+  | Leaf b -> Leaf (not b)
+  | Node n -> (
+      match Hashtbl.find_opt m.not_cache n.id with
+      | Some r -> r
+      | None ->
+          let r = mk m n.level (not_ m n.low) (not_ m n.high) in
+          Hashtbl.replace m.not_cache n.id r;
+          r)
+
+
+let cofactors t level =
+  match t with
+  | Leaf _ -> (t, t)
+  | Node n -> if n.level = level then (n.low, n.high) else (t, t)
+
+let rec and_ m a b =
+  match (a, b) with
+  | Leaf false, _ | _, Leaf false -> Leaf false
+  | Leaf true, x | x, Leaf true -> x
+  | Node na, Node nb ->
+      if na.id = nb.id then a
+      else begin
+        let key = if na.id <= nb.id then (na.id, nb.id) else (nb.id, na.id) in
+        match Hashtbl.find_opt m.and_cache key with
+        | Some r -> r
+        | None ->
+            let level = min na.level nb.level in
+            let a0, a1 = cofactors a level and b0, b1 = cofactors b level in
+            let r = mk m level (and_ m a0 b0) (and_ m a1 b1) in
+            Hashtbl.replace m.and_cache key r;
+            r
+      end
+
+let or_ m a b = not_ m (and_ m (not_ m a) (not_ m b))
+
+let rec xor m a b =
+  match (a, b) with
+  | Leaf false, x | x, Leaf false -> x
+  | Leaf true, x | x, Leaf true -> not_ m x
+  | Node na, Node nb ->
+      if na.id = nb.id then Leaf false
+      else begin
+        let key = if na.id <= nb.id then (na.id, nb.id) else (nb.id, na.id) in
+        match Hashtbl.find_opt m.xor_cache key with
+        | Some r -> r
+        | None ->
+            let level = min na.level nb.level in
+            let a0, a1 = cofactors a level and b0, b1 = cofactors b level in
+            let r = mk m level (xor m a0 b0) (xor m a1 b1) in
+            Hashtbl.replace m.xor_cache key r;
+            r
+      end
+
+let ite m s a b = or_ m (and_ m s a) (and_ m (not_ m s) b)
+
+let equal a b = id a = id b
+
+let is_const = function Leaf b -> Some b | Node _ -> None
+
+let size t =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.replace seen n.id ();
+          go n.low;
+          go n.high
+        end
+  in
+  go t;
+  Hashtbl.length seen
+
+let rec eval t env =
+  match t with
+  | Leaf b -> b
+  | Node n -> if env n.level then eval n.high env else eval n.low env
+
+let sat_count t ~nvars =
+  let memo = Hashtbl.create 64 in
+  (* count over variables in [from, nvars) *)
+  let rec go t from =
+    match t with
+    | Leaf false -> 0.0
+    | Leaf true -> 2.0 ** float_of_int (nvars - from)
+    | Node n -> (
+        let key = (n.id, from) in
+        match Hashtbl.find_opt memo key with
+        | Some c -> c
+        | None ->
+            (* Variables skipped between [from] and the node each double the
+               count; the node's own variable splits into the two branches. *)
+            let skip = 2.0 ** float_of_int (n.level - from) in
+            let result = skip *. (go n.low (n.level + 1) +. go n.high (n.level + 1)) in
+            Hashtbl.replace memo key result;
+            result)
+  in
+  go t 0
+
+let of_tt m tt =
+  let n = Truthtable.nvars tt in
+  let rec build level f =
+    match Truthtable.is_const f with
+    | Some b -> Leaf b
+    | None ->
+        assert (level < n);
+        let low = build (level + 1) (Truthtable.cofactor f level false) in
+        let high = build (level + 1) (Truthtable.cofactor f level true) in
+        mk m level low high
+  in
+  build 0 tt
+
+let of_expr m e =
+  let module E = Expr in
+  let rec go = function
+    | E.Const b -> Leaf b
+    | E.Var i -> var m i
+    | E.Not e -> not_ m (go e)
+    | E.And children ->
+        List.fold_left (fun acc e -> and_ m acc (go e)) (Leaf true) children
+    | E.Or children -> List.fold_left (fun acc e -> or_ m acc (go e)) (Leaf false) children
+    | E.Xor children -> List.fold_left (fun acc e -> xor m acc (go e)) (Leaf false) children
+  in
+  go e
+
+let node_count m = m.next_id - 2

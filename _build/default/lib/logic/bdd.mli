@@ -1,0 +1,43 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    Complements the 16-variable truth-table engine: BDDs scale to the wide
+    benchmark circuits (ALUs, correctors) and give {e exact} combinational
+    equivalence checking where the test suite would otherwise rely on random
+    co-simulation. Variables are integers ordered by value (smaller = closer
+    to the root). *)
+
+type manager
+type t
+
+val manager : ?cache_size:int -> unit -> manager
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+val nvar : manager -> int -> t
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Constant-time: hash-consing makes equivalent functions physically
+    equal within one manager. *)
+
+val is_const : t -> bool option
+
+val size : t -> int
+(** Number of distinct decision nodes reachable from this root. *)
+
+val eval : t -> (int -> bool) -> bool
+
+val sat_count : t -> nvars:int -> float
+(** Number of satisfying assignments over the given variable count. *)
+
+val of_tt : manager -> Truthtable.t -> t
+val of_expr : manager -> Expr.t -> t
+
+val node_count : manager -> int
+(** Total allocated nodes (for resource reporting). *)

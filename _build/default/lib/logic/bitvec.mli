@@ -1,0 +1,39 @@
+(** Packed bit vectors used for 64-way parallel logic simulation.
+
+    A [Bitvec.t] holds [length] bits packed into 64-bit words. Bit [i] of the
+    vector is bit [i mod 64] of word [i / 64]. Logical operations are
+    word-parallel, which is what makes 640 K-pattern power estimation cheap. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. *)
+
+val length : t -> int
+
+val words : t -> int64 array
+(** Underlying storage (shared, not copied). Bits beyond [length] in the last
+    word are kept at zero by all operations of this module. *)
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val fill_random : Prng.t -> t -> unit
+(** Overwrite every bit with an independent fair coin flip. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val equal : t -> t -> bool
+val popcount : t -> int
+
+val transitions : t -> int
+(** [transitions v] counts indices [i] with [get v i <> get v (i+1)] — the
+    number of toggles along the bit sequence, used for switching-activity
+    estimation when bits encode consecutive simulation cycles. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    All stochastic parts of the reproduction (random simulation patterns,
+    randomized benchmark generators) draw from this generator so that every
+    experiment is bit-reproducible across runs and machines. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)

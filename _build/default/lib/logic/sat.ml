@@ -1,0 +1,434 @@
+(* CDCL with two-watched literals, first-UIP learning, VSIDS and Luby
+   restarts — a compact MiniSat-style core. Clauses are int arrays whose
+   first two slots are the watched literals. *)
+
+type clause = int array
+
+type t = {
+  mutable nvars : int;
+  mutable watches : clause list array; (* indexed by literal index *)
+  mutable assign : int array; (* per var: 0 unknown / 1 true / -1 false *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable phase : bool array; (* saved polarity *)
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_size : int;
+  mutable heap_pos : int array; (* var -> heap slot, -1 if absent *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable trail_lim : int list; (* decision-level boundaries, reversed *)
+  mutable qhead : int;
+  mutable num_clauses : int;
+  mutable conflicts : int;
+  mutable ok : bool; (* false once an empty clause was added *)
+}
+
+type result = Sat of (int -> bool) | Unsat | Unknown
+
+let create () =
+  {
+    nvars = 0;
+    watches = Array.make 4 [];
+    assign = Array.make 2 0;
+    level = Array.make 2 0;
+    reason = Array.make 2 None;
+    phase = Array.make 2 false;
+    activity = Array.make 2 0.0;
+    var_inc = 1.0;
+    heap = Array.make 2 0;
+    heap_size = 0;
+    heap_pos = Array.make 2 (-1);
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_lim = [];
+    qhead = 0;
+    num_clauses = 0;
+    conflicts = 0;
+    ok = true;
+  }
+
+let lit_index l = if l > 0 then 2 * l else (-2 * l) + 1
+
+let grow_to t v =
+  let cap = Array.length t.assign in
+  if v >= cap then begin
+    let ncap = max (2 * cap) (v + 1) in
+    let grow_arr a fill =
+      let bigger = Array.make ncap fill in
+      Array.blit a 0 bigger 0 (Array.length a);
+      bigger
+    in
+    t.assign <- grow_arr t.assign 0;
+    t.level <- grow_arr t.level 0;
+    t.reason <- grow_arr t.reason None;
+    t.phase <- grow_arr t.phase false;
+    t.activity <- grow_arr t.activity 0.0;
+    t.heap <- grow_arr t.heap 0;
+    t.heap_pos <- grow_arr t.heap_pos (-1);
+    let wcap = 2 * ncap + 2 in
+    let bigger = Array.make wcap [] in
+    Array.blit t.watches 0 bigger 0 (Array.length t.watches);
+    t.watches <- bigger
+  end
+
+let new_var t =
+  let v = t.nvars + 1 in
+  t.nvars <- v;
+  grow_to t v;
+  v
+
+let num_vars t = t.nvars
+let num_clauses t = t.num_clauses
+let num_conflicts t = t.conflicts
+
+let value t l =
+  let a = t.assign.(abs l) in
+  if l > 0 then a else -a
+
+(* --- activity heap ------------------------------------------------- *)
+
+let heap_swap t i j =
+  let vi = t.heap.(i) and vj = t.heap.(j) in
+  t.heap.(i) <- vj;
+  t.heap.(j) <- vi;
+  t.heap_pos.(vj) <- i;
+  t.heap_pos.(vi) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.activity.(t.heap.(i)) > t.activity.(t.heap.(parent)) then begin
+      heap_swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && t.activity.(t.heap.(l)) > t.activity.(t.heap.(!best)) then best := l;
+  if r < t.heap_size && t.activity.(t.heap.(r)) > t.activity.(t.heap.(!best)) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    sift_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    sift_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let top = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  t.heap_pos.(top) <- -1;
+  if t.heap_size > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_size);
+    t.heap_pos.(t.heap.(0)) <- 0;
+    sift_down t 0
+  end;
+  top
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for u = 1 to t.nvars do
+      t.activity.(u) <- t.activity.(u) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then sift_up t t.heap_pos.(v)
+
+(* --- assignment ---------------------------------------------------- *)
+
+let decision_level t = List.length t.trail_lim
+
+let enqueue t l reason =
+  t.assign.(abs l) <- (if l > 0 then 1 else -1);
+  t.level.(abs l) <- decision_level t;
+  t.reason.(abs l) <- reason;
+  t.phase.(abs l) <- l > 0;
+  if t.trail_size = Array.length t.trail then begin
+    let bigger = Array.make (2 * t.trail_size) 0 in
+    Array.blit t.trail 0 bigger 0 t.trail_size;
+    t.trail <- bigger
+  end;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let backtrack t target_level =
+  let keep =
+    let rec boundary lims n = if n = 0 then t.trail_size else
+      match lims with [] -> 0 | b :: rest -> if n = 1 then b else boundary rest (n - 1)
+    in
+    (* trail_lim is reversed: head is the most recent boundary *)
+    let rec nth_boundary lims n =
+      match lims with
+      | [] -> 0
+      | b :: rest -> if n = 1 then b else nth_boundary rest (n - 1)
+    in
+    ignore boundary;
+    let depth = decision_level t in
+    if target_level >= depth then t.trail_size
+    else nth_boundary t.trail_lim (depth - target_level)
+  in
+  for i = t.trail_size - 1 downto keep do
+    let v = abs t.trail.(i) in
+    t.assign.(v) <- 0;
+    t.reason.(v) <- None;
+    heap_insert t v
+  done;
+  t.trail_size <- keep;
+  t.qhead <- min t.qhead keep;
+  let rec drop lims n = if n = 0 then lims else match lims with [] -> [] | _ :: rest -> drop rest (n - 1) in
+  t.trail_lim <- drop t.trail_lim (decision_level t - target_level)
+
+(* --- clauses -------------------------------------------------------- *)
+
+let attach t (c : clause) =
+  t.watches.(lit_index (-c.(0))) <- c :: t.watches.(lit_index (-c.(0)));
+  t.watches.(lit_index (-c.(1))) <- c :: t.watches.(lit_index (-c.(1)))
+
+let add_clause t lits =
+  if t.ok then begin
+    List.iter (fun l -> grow_to t (abs l)) lits;
+    (* Clause addition happens at the root level (also for incremental use
+       between solves). *)
+    backtrack t 0;
+    let lits = List.sort_uniq compare lits in
+    let tautology = List.exists (fun l -> List.mem (-l) lits) lits in
+    (* Simplify against root-level facts. *)
+    let satisfied = List.exists (fun l -> value t l = 1) lits in
+    let lits = List.filter (fun l -> value t l <> -1) lits in
+    if not (tautology || satisfied) then begin
+      match lits with
+      | [] -> t.ok <- false
+      | [ l ] -> enqueue t l None
+      | _ :: _ :: _ ->
+          let c = Array.of_list lits in
+          attach t c;
+          t.num_clauses <- t.num_clauses + 1
+    end
+  end
+
+(* --- propagation ---------------------------------------------------- *)
+
+exception Conflict of clause
+
+let propagate t =
+  try
+    while t.qhead < t.trail_size do
+      let p = t.trail.(t.qhead) in
+      t.qhead <- t.qhead + 1;
+      let false_lit = -p in
+      let ws = t.watches.(lit_index p) in
+      (* watches.(lit_index p) holds clauses watching the literal that just
+         became false: we stored clause c under lit_index (-watched), so a
+         watched literal l is triggered when -l is assigned. Here p became
+         true, so literals -p became false: those watches live at
+         lit_index p. *)
+      t.watches.(lit_index p) <- [];
+      let rec process = function
+        | [] -> ()
+        | c :: rest -> (
+            (* ensure the false literal is at slot 1 *)
+            if c.(0) = false_lit then begin
+              c.(0) <- c.(1);
+              c.(1) <- false_lit
+            end;
+            if value t c.(0) = 1 then begin
+              t.watches.(lit_index p) <- c :: t.watches.(lit_index p);
+              process rest
+            end
+            else begin
+              (* search a replacement watch *)
+              let found = ref false in
+              let k = ref 2 in
+              let n = Array.length c in
+              while (not !found) && !k < n do
+                if value t c.(!k) <> -1 then begin
+                  let tmp = c.(1) in
+                  c.(1) <- c.(!k);
+                  c.(!k) <- tmp;
+                  t.watches.(lit_index (-c.(1))) <- c :: t.watches.(lit_index (-c.(1)));
+                  found := true
+                end;
+                incr k
+              done;
+              if !found then process rest
+              else begin
+                (* no replacement: clause is unit or conflicting *)
+                t.watches.(lit_index p) <- c :: t.watches.(lit_index p);
+                if value t c.(0) = -1 then begin
+                  (* restore remaining watches before failing *)
+                  t.watches.(lit_index p) <- List.rev_append rest t.watches.(lit_index p);
+                  raise (Conflict c)
+                end
+                else begin
+                  enqueue t c.(0) (Some c);
+                  process rest
+                end
+              end
+            end)
+      in
+      process ws
+    done;
+    None
+  with Conflict c -> Some c
+
+(* --- conflict analysis ---------------------------------------------- *)
+
+let analyze t conflict =
+  let seen = Hashtbl.create 64 in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 in
+  let c = ref conflict in
+  let idx = ref (t.trail_size - 1) in
+  let current = decision_level t in
+  let continue = ref true in
+  while !continue do
+    (* [!p] is the literal whose reason clause [!c] is being expanded
+       (0 for the initial conflict clause); skip it when scanning. *)
+    Array.iter
+      (fun q ->
+        if q <> !p && not (Hashtbl.mem seen (abs q)) then begin
+          let lv = t.level.(abs q) in
+          if lv > 0 then begin
+            Hashtbl.replace seen (abs q) ();
+            bump t (abs q);
+            if lv = current then incr counter else learnt := q :: !learnt
+          end
+        end)
+      !c;
+    (* find the most recently assigned seen literal on the trail *)
+    while not (Hashtbl.mem seen (abs t.trail.(!idx))) do
+      decr idx
+    done;
+    p := t.trail.(!idx);
+    Hashtbl.remove seen (abs !p);
+    decr idx;
+    decr counter;
+    if !counter <= 0 then continue := false
+    else
+      c :=
+        (match t.reason.(abs !p) with
+        | Some r -> r
+        | None -> failwith "Sat.analyze: missing reason")
+  done;
+  let asserting = - !p in
+  let tail = !learnt in
+  let back_level = List.fold_left (fun acc q -> max acc (t.level.(abs q))) 0 tail in
+  (asserting :: tail, back_level)
+
+(* --- main loop ------------------------------------------------------ *)
+
+(* Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby k =
+  let rec pow2 n = if n = 0 then 1 else 2 * pow2 (n - 1) in
+  let rec f k =
+    let rec level n = if pow2 n - 1 >= k then n else level (n + 1) in
+    let n = level 0 in
+    if pow2 n - 1 = k then pow2 (n - 1) else f (k - pow2 (n - 1) + 1)
+  in
+  f k
+
+let solve ?(assumptions = []) ?(max_conflicts = max_int) t =
+  if not t.ok then Unsat
+  else begin
+    t.conflicts <- 0;
+    backtrack t 0;
+    (* fill heap *)
+    for v = 1 to t.nvars do
+      if t.assign.(v) = 0 then heap_insert t v
+    done;
+    match propagate t with
+    | Some _ -> Unsat
+    | None -> (
+        let result = ref None in
+        let restart_count = ref 0 in
+        let conflict_budget = ref (100 * luby 1) in
+        (try
+           while !result = None do
+             (* (re)apply assumptions *)
+             let assumption_failed = ref false in
+             List.iter
+               (fun a ->
+                 if !result = None && not !assumption_failed then begin
+                   match value t a with
+                   | 1 -> ()
+                   | -1 -> assumption_failed := true
+                   | _ ->
+                       t.trail_lim <- t.trail_size :: t.trail_lim;
+                       enqueue t a None;
+                       (match propagate t with
+                       | None -> ()
+                       | Some _ -> assumption_failed := true)
+                 end)
+               assumptions;
+             if !assumption_failed then begin
+               result := Some Unsat
+             end
+             else begin
+               let assumption_level = decision_level t in
+               let searching = ref true in
+               while !searching && !result = None do
+                 match propagate t with
+                 | Some conflict ->
+                     t.conflicts <- t.conflicts + 1;
+                     decr conflict_budget;
+                     if t.conflicts >= max_conflicts then result := Some Unknown
+                     else if decision_level t <= assumption_level then begin
+                       result := Some Unsat
+                     end
+                     else begin
+                       let learnt, back_level = analyze t conflict in
+                       let back_level = max back_level assumption_level in
+                       backtrack t back_level;
+                       (match learnt with
+                       | [] -> result := Some Unsat
+                       | [ l ] -> if value t l = 0 then enqueue t l None
+                       | l :: _ ->
+                           let c = Array.of_list learnt in
+                           attach t c;
+                           t.num_clauses <- t.num_clauses + 1;
+                           if value t l = 0 then enqueue t l (Some c));
+                       t.var_inc <- t.var_inc /. 0.95;
+                       if !conflict_budget <= 0 then begin
+                         (* restart *)
+                         incr restart_count;
+                         conflict_budget := 100 * luby (!restart_count + 1);
+                         backtrack t assumption_level;
+                         searching := false
+                       end
+                     end
+                 | None ->
+                     (* decide *)
+                     let decision = ref 0 in
+                     while !decision = 0 && t.heap_size > 0 do
+                       let v = heap_pop t in
+                       if t.assign.(v) = 0 then
+                         decision := (if t.phase.(v) then v else -v)
+                     done;
+                     if !decision = 0 then begin
+                       let model = Array.copy t.assign in
+                       result := Some (Sat (fun v -> model.(v) = 1))
+                     end
+                     else begin
+                       t.trail_lim <- t.trail_size :: t.trail_lim;
+                       enqueue t !decision None
+                     end
+               done;
+               (* restart loops back to re-apply assumptions (they are kept
+                  assigned since we backtrack only to assumption_level) *)
+               ()
+             end
+           done
+         with e -> raise e);
+        match !result with Some r -> r | None -> assert false)
+  end

@@ -1,0 +1,31 @@
+(** A small CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    first-UIP learning, VSIDS-style activities and Luby restarts — enough
+    to discharge the combinational-equivalence miters of this project's
+    test suite (BDD-hostile structures included). Variables are positive
+    integers; literals are [var] or [-var] as in DIMACS. *)
+
+type t
+
+type result = Sat of (int -> bool) | Unsat | Unknown
+(** [Sat model]: [model v] is the value of variable [v]; [Unknown] is
+    returned only when a conflict budget was given and exhausted. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate the next variable (1, 2, 3, ...). *)
+
+val add_clause : t -> int list -> unit
+(** Clauses may be added only before {!solve}. The empty clause makes the
+    instance trivially unsatisfiable. *)
+
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> result
+(** Solve under optional assumption literals. The solver can be re-solved
+    with different assumptions. [max_conflicts] bounds the search effort. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_conflicts : t -> int
+(** Conflicts encountered during the last [solve] (for reporting). *)

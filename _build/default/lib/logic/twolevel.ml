@@ -1,0 +1,109 @@
+module T = Truthtable
+
+let cover_literals cubes =
+  let count_bits m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  List.fold_left
+    (fun acc (c : T.cube) -> acc + count_bits c.T.pos + count_bits c.T.neg)
+    0 cubes
+
+let cover_terms = List.length
+
+let is_cover_of ?dc f cubes =
+  let n = T.nvars f in
+  let covered = T.of_cubes n cubes in
+  match dc with
+  | None -> T.equal covered f
+  | Some dc ->
+      (* agree wherever dc = 0 *)
+      let care = T.lognot dc in
+      T.equal (T.logand covered care) (T.logand f care)
+
+(* EXPAND: greedily drop literals from a cube while it stays inside
+   on-set + dc-set. Literals are tried in a fixed order; the result is a
+   prime implicant. *)
+let expand_cube n upper (c : T.cube) =
+  let current = ref c in
+  for i = 0 to n - 1 do
+    let try_drop (c : T.cube) =
+      if (c.T.pos lsr i) land 1 = 1 then Some { c with T.pos = c.T.pos land lnot (1 lsl i) }
+      else if (c.T.neg lsr i) land 1 = 1 then
+        Some { c with T.neg = c.T.neg land lnot (1 lsl i) }
+      else None
+    in
+    match try_drop !current with
+    | None -> ()
+    | Some bigger ->
+        let tt = T.cube_tt n bigger in
+        if T.equal (T.logand tt upper) tt then current := bigger
+  done;
+  !current
+
+(* IRREDUNDANT: drop cubes whose care part is covered by the others. *)
+let irredundant n care f_cubes =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let others = List.rev_append kept rest in
+        let rest_tt = T.of_cubes n others in
+        let c_tt = T.logand (T.cube_tt n c) care in
+        if T.equal (T.logand c_tt rest_tt) c_tt then go kept rest else go (c :: kept) rest
+  in
+  go [] f_cubes
+
+(* REDUCE: shrink cubes one at a time (sequentially, like Espresso — a
+   simultaneous reduction would un-cover regions shared by two cubes): each
+   cube becomes the smallest cube covering the care minterms that the rest
+   of the current cover misses. *)
+let smallest_enclosing_cube n own =
+  let pos = ref ((1 lsl n) - 1) and neg = ref ((1 lsl n) - 1) in
+  for m = 0 to (1 lsl n) - 1 do
+    if T.eval own m then begin
+      pos := !pos land m;
+      neg := !neg land lnot m
+    end
+  done;
+  { T.pos = !pos land ((1 lsl n) - 1); T.neg = !neg land ((1 lsl n) - 1) }
+
+let reduce_sequential n care cubes =
+  let rec go done_ = function
+    | [] -> List.rev done_
+    | c :: rest ->
+        let others_tt = T.of_cubes n (List.rev_append done_ rest) in
+        let own = T.logand (T.logand (T.cube_tt n c) care) (T.lognot others_tt) in
+        (match T.is_const own with
+        | Some false -> go done_ rest (* fully redundant *)
+        | Some true | None -> go (smallest_enclosing_cube n own :: done_) rest)
+  in
+  go [] cubes
+
+let minimize ?dc f =
+  let n = T.nvars f in
+  assert (n <= 16);
+  let dc = match dc with Some d -> d | None -> T.const n false in
+  let care = T.lognot dc in
+  let upper = T.logor f dc in
+  let on_care = T.logand f care in
+  let cost cubes = (cover_terms cubes, cover_literals cubes) in
+  let step cubes =
+    let expanded = List.map (expand_cube n upper) cubes in
+    let expanded = List.sort_uniq compare expanded in
+    let irr = irredundant n on_care expanded in
+    let reduced = reduce_sequential n on_care irr in
+    (* Re-expand the reduced cubes to primes for the final answer. *)
+    let final = List.sort_uniq compare (List.map (expand_cube n upper) reduced) in
+    irredundant n on_care final
+  in
+  let rec iterate cubes best rounds =
+    if rounds = 0 then cubes
+    else begin
+      let next = step cubes in
+      if cost next < best then iterate next (cost next) (rounds - 1) else cubes
+    end
+  in
+  let start = T.isop f in
+  let result = iterate start (cost start) 8 in
+  assert (is_cover_of ~dc f result);
+  result

@@ -1,0 +1,19 @@
+(** Two-level (sum-of-products) cover minimization.
+
+    An Espresso-style EXPAND / IRREDUNDANT / REDUCE iteration over cube
+    covers of functions with at most 16 inputs. Used by the PLA subsystem
+    (where every literal is a transistor in the AND plane) and wherever a
+    smaller cover than {!Truthtable.isop} pays off. *)
+
+val minimize : ?dc:Truthtable.t -> Truthtable.t -> Truthtable.cube list
+(** [minimize ?dc f] returns an irredundant prime cover of [f]'s on-set,
+    optionally using the don't-care set [dc] for expansion. The cover
+    equals [f] on [f]'s care set (exactly [f] when [dc] is absent). *)
+
+val cover_literals : Truthtable.cube list -> int
+(** Total literal count — the PLA AND-plane cost. *)
+
+val cover_terms : Truthtable.cube list -> int
+
+val is_cover_of : ?dc:Truthtable.t -> Truthtable.t -> Truthtable.cube list -> bool
+(** Does the cover compute [f] wherever [dc] is 0? *)

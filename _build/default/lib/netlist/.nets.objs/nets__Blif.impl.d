@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Hashtbl List Logic Netlist Printf String

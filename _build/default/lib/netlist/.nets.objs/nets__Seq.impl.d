@@ -1,0 +1,1 @@
+lib/netlist/seq.ml: Array List Logic Netlist Sim

@@ -1,0 +1,1 @@
+lib/netlist/seq.mli: Logic Netlist

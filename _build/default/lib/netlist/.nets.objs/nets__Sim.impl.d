@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array List Logic Netlist

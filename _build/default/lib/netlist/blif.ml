@@ -1,0 +1,225 @@
+module T = Logic.Truthtable
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Logical lines: backslash continuations joined, comments stripped. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+        let line = strip_comment line in
+        let line = String.trim line in
+        if line = "" then join (if pending = "" then acc else pending :: acc) "" rest
+        else if String.length line > 0 && line.[String.length line - 1] = '\\' then
+          join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+        else join ((pending ^ line) :: acc) "" rest
+  in
+  join [] "" raw
+
+let tokens line =
+  String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+type names_block = { ins : string list; out : string; cover : (string * char) list }
+(* cover: (input pattern, output char) rows *)
+
+let read_string text =
+  let lines = logical_lines text in
+  let inputs = ref [] and outputs = ref [] and blocks = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | line :: rest -> (
+        match tokens line with
+        | ".model" :: _ | ".end" :: _ -> scan rest
+        | ".inputs" :: names ->
+            inputs := !inputs @ names;
+            scan rest
+        | ".outputs" :: names ->
+            outputs := !outputs @ names;
+            scan rest
+        | ".names" :: signals ->
+            (match List.rev signals with
+            | [] -> fail ".names with no signals"
+            | out :: rev_ins ->
+                let ins = List.rev rev_ins in
+                let rec take_cover acc = function
+                  | row :: more when String.length row > 0 && row.[0] <> '.' -> (
+                      match tokens row with
+                      | [ pat; v ] when ins <> [] && String.length v = 1 ->
+                          take_cover ((pat, v.[0]) :: acc) more
+                      | [ v ] when ins = [] && String.length v = 1 ->
+                          take_cover (("", v.[0]) :: acc) more
+                      | _ -> fail "bad cover row %S" row)
+                  | remaining -> (List.rev acc, remaining)
+                in
+                let cover, remaining = take_cover [] rest in
+                blocks := { ins; out; cover } :: !blocks;
+                scan remaining)
+        | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+            fail "unsupported BLIF directive %S" directive
+        | _ -> fail "unexpected line %S" line)
+  in
+  scan lines;
+  let blocks = List.rev !blocks in
+  let t = Netlist.create () in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun name -> Hashtbl.replace ids name (Netlist.add_input t name)) !inputs;
+  (* Blocks may reference each other in any order: resolve by repeated passes
+     (combinational circuits are acyclic). *)
+  let remaining = ref blocks in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let later = ref [] in
+    List.iter
+      (fun b ->
+        if List.for_all (fun i -> Hashtbl.mem ids i) b.ins then begin
+          progress := true;
+          let k = List.length b.ins in
+          if k > 16 then fail ".names with %d inputs (max 16)" k;
+          let on_output_one = List.for_all (fun (_, v) -> v = '1') b.cover in
+          let rows = if on_output_one then b.cover else List.filter (fun (_, v) -> v = '0') b.cover in
+          if (not on_output_one) && List.exists (fun (_, v) -> v = '1') b.cover then
+            fail "mixed 0/1 cover for %s" b.out;
+          let cube_of pat =
+            if String.length pat <> k then fail "cover width mismatch for %s" b.out;
+            let pos = ref 0 and neg = ref 0 in
+            String.iteri
+              (fun i c ->
+                match c with
+                | '1' -> pos := !pos lor (1 lsl i)
+                | '0' -> neg := !neg lor (1 lsl i)
+                | '-' -> ()
+                | _ -> fail "bad cover char %C" c)
+              pat;
+            { T.pos = !pos; T.neg = !neg }
+          in
+          let tt = T.of_cubes k (List.map (fun (pat, _) -> cube_of pat) rows) in
+          let tt = if on_output_one then tt else T.lognot tt in
+          let fanins = Array.of_list (List.map (Hashtbl.find ids) b.ins) in
+          let id =
+            if k = 0 then Netlist.add_node t (Netlist.Constant (T.eval tt 0)) [||]
+            else Netlist.add_node t (Netlist.Lut tt) fanins
+          in
+          Hashtbl.replace ids b.out id
+        end
+        else later := b :: !later)
+      !remaining;
+    remaining := List.rev !later
+  done;
+  if !remaining <> [] then
+    fail "unresolved signals (cycle or missing driver), e.g. %S" (List.hd !remaining).out;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt ids name with
+      | Some id -> Netlist.add_output t name id
+      | None -> fail "undriven output %S" name)
+    !outputs;
+  t
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  read_string s
+
+let node_name t id =
+  match Netlist.op t id with
+  | Netlist.Input -> Netlist.input_name t id
+  | Netlist.Constant _ | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or
+  | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor | Netlist.Mux
+  | Netlist.Maj | Netlist.Lut _ ->
+      Printf.sprintf "n%d" id
+
+let write_string ?(model = "circuit") t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n.inputs" model);
+  Array.iter (fun id -> Buffer.add_string buf (" " ^ Netlist.input_name t id)) (Netlist.inputs t);
+  Buffer.add_string buf "\n.outputs";
+  Array.iter (fun (name, _) -> Buffer.add_string buf (" " ^ name)) (Netlist.outputs t);
+  Buffer.add_char buf '\n';
+  let emit_cover fanin_names tt =
+    let k = List.length fanin_names in
+    let cubes = T.isop tt in
+    if cubes = [] then Buffer.add_string buf "" (* constant 0: empty cover *)
+    else
+      List.iter
+        (fun (c : T.cube) ->
+          if k = 0 then Buffer.add_string buf "1\n"
+          else begin
+            for i = 0 to k - 1 do
+              if (c.pos lsr i) land 1 = 1 then Buffer.add_char buf '1'
+              else if (c.neg lsr i) land 1 = 1 then Buffer.add_char buf '0'
+              else Buffer.add_char buf '-'
+            done;
+            Buffer.add_string buf " 1\n"
+          end)
+        cubes
+  in
+  Netlist.iter_nodes t (fun id op fanins ->
+      match op with
+      | Netlist.Input -> ()
+      | Netlist.Constant _ | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or
+      | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor | Netlist.Mux
+      | Netlist.Maj | Netlist.Lut _ ->
+          let k = Array.length fanins in
+          let fanin_names = Array.to_list (Array.map (node_name t) fanins) in
+          Buffer.add_string buf ".names";
+          List.iter (fun n -> Buffer.add_string buf (" " ^ n)) fanin_names;
+          Buffer.add_string buf (" " ^ node_name t id ^ "\n");
+          let tt =
+            match op with
+            | Netlist.Lut tt -> tt
+            | Netlist.Input -> assert false
+            | Netlist.Constant _ | Netlist.Buf | Netlist.Not | Netlist.And
+            | Netlist.Or | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor
+            | Netlist.Mux | Netlist.Maj ->
+                let vars = Array.init k (fun i -> Logic.Expr.var i) in
+                let e =
+                  match op with
+                  | Netlist.Constant b -> Logic.Expr.const b
+                  | Netlist.Buf -> vars.(0)
+                  | Netlist.Not -> Logic.Expr.not_ vars.(0)
+                  | Netlist.And -> Logic.Expr.and_ (Array.to_list vars)
+                  | Netlist.Or -> Logic.Expr.or_ (Array.to_list vars)
+                  | Netlist.Xor -> Logic.Expr.xor (Array.to_list vars)
+                  | Netlist.Nand -> Logic.Expr.not_ (Logic.Expr.and_ (Array.to_list vars))
+                  | Netlist.Nor -> Logic.Expr.not_ (Logic.Expr.or_ (Array.to_list vars))
+                  | Netlist.Xnor -> Logic.Expr.not_ (Logic.Expr.xor (Array.to_list vars))
+                  | Netlist.Mux ->
+                      Logic.Expr.or_
+                        [ Logic.Expr.and_ [ vars.(0); vars.(2) ];
+                          Logic.Expr.and_ [ Logic.Expr.not_ vars.(0); vars.(1) ] ]
+                  | Netlist.Maj ->
+                      Logic.Expr.or_
+                        [ Logic.Expr.and_ [ vars.(0); vars.(1) ];
+                          Logic.Expr.and_ [ vars.(0); vars.(2) ];
+                          Logic.Expr.and_ [ vars.(1); vars.(2) ] ]
+                  | Netlist.Input | Netlist.Lut _ -> assert false
+                in
+                Logic.Expr.to_tt k e
+          in
+          emit_cover fanin_names tt);
+  (* Alias outputs whose name differs from their driver's printed name. *)
+  Array.iter
+    (fun (name, id) ->
+      let driver = node_name t id in
+      if driver <> name then
+        Buffer.add_string buf (Printf.sprintf ".names %s %s\n1 1\n" driver name))
+    (Netlist.outputs t);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file ?model path t =
+  let oc = open_out path in
+  output_string oc (write_string ?model t);
+  close_out oc

@@ -1,0 +1,13 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    Supports the combinational subset used by synthesis benchmarks:
+    [.model], [.inputs], [.outputs], [.names] with single-output covers, and
+    [.end]. Covers become {!Netlist.op.Lut} nodes. *)
+
+exception Parse_error of string
+
+val read_string : string -> Netlist.t
+val read_file : string -> Netlist.t
+
+val write_string : ?model:string -> Netlist.t -> string
+val write_file : ?model:string -> string -> Netlist.t -> unit

@@ -1,0 +1,206 @@
+type op =
+  | Input
+  | Constant of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Xor
+  | Nand
+  | Nor
+  | Xnor
+  | Mux
+  | Maj
+  | Lut of Logic.Truthtable.t
+
+type node = { op : op; fanins : int array }
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable input_ids : int list; (* reversed *)
+  mutable input_names : (int * string) list;
+  mutable outs : (string * int) list; (* reversed *)
+}
+
+let create () =
+  { nodes = Array.make 64 { op = Input; fanins = [||] }; n = 0; input_ids = []; input_names = []; outs = [] }
+
+let grow t =
+  if t.n = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end
+
+let arity_ok op fanins =
+  let k = Array.length fanins in
+  match op with
+  | Input | Constant _ -> k = 0
+  | Buf | Not -> k = 1
+  | Mux | Maj -> k = 3
+  | And | Or | Xor | Nand | Nor | Xnor -> k >= 2
+  | Lut tt -> k = Logic.Truthtable.nvars tt
+
+let add_raw t op fanins =
+  assert (arity_ok op fanins);
+  Array.iter (fun f -> assert (f >= 0 && f < t.n)) fanins;
+  grow t;
+  t.nodes.(t.n) <- { op; fanins };
+  t.n <- t.n + 1;
+  t.n - 1
+
+let add_input t name =
+  let id = add_raw t Input [||] in
+  t.input_ids <- id :: t.input_ids;
+  t.input_names <- (id, name) :: t.input_names;
+  id
+
+let add_node t op fanins =
+  (match op with Input -> invalid_arg "add_node: use add_input" | Constant _ | Buf | Not | And | Or | Xor | Nand | Nor | Xnor | Mux | Maj | Lut _ -> ());
+  add_raw t op fanins
+
+let add_output t name id =
+  assert (id >= 0 && id < t.n);
+  t.outs <- (name, id) :: t.outs
+
+let size t = t.n
+let num_inputs t = List.length t.input_ids
+let num_outputs t = List.length t.outs
+let inputs t = Array.of_list (List.rev t.input_ids)
+let outputs t = Array.of_list (List.rev t.outs)
+let op t id = t.nodes.(id).op
+let fanins t id = t.nodes.(id).fanins
+let input_name t id = List.assoc id t.input_names
+
+let iter_nodes t f =
+  for id = 0 to t.n - 1 do
+    f id t.nodes.(id).op t.nodes.(id).fanins
+  done
+
+let num_gates t =
+  let count = ref 0 in
+  iter_nodes t (fun _ op _ ->
+      match op with
+      | Input | Constant _ -> ()
+      | Buf | Not | And | Or | Xor | Nand | Nor | Xnor | Mux | Maj | Lut _ -> incr count);
+  !count
+
+let apply op (args : bool array) =
+  let all f = Array.for_all f args and any f = Array.exists f args in
+  match op with
+  | Input -> invalid_arg "apply Input"
+  | Constant b -> b
+  | Buf -> args.(0)
+  | Not -> not args.(0)
+  | And -> all Fun.id
+  | Or -> any Fun.id
+  | Xor -> Array.fold_left (fun acc b -> acc <> b) false args
+  | Nand -> not (all Fun.id)
+  | Nor -> not (any Fun.id)
+  | Xnor -> not (Array.fold_left (fun acc b -> acc <> b) false args)
+  | Mux -> if args.(0) then args.(2) else args.(1)
+  | Maj ->
+      (args.(0) && args.(1)) || (args.(0) && args.(2)) || (args.(1) && args.(2))
+  | Lut tt ->
+      let m = ref 0 in
+      Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) args;
+      Logic.Truthtable.eval tt !m
+
+let eval t input_values =
+  let ins = inputs t in
+  assert (Array.length input_values = Array.length ins);
+  let values = Array.make t.n false in
+  Array.iteri (fun i id -> values.(id) <- input_values.(i)) ins;
+  iter_nodes t (fun id op fanins ->
+      match op with
+      | Input -> ()
+      | Constant _ | Buf | Not | And | Or | Xor | Nand | Nor | Xnor | Mux | Maj | Lut _ ->
+          values.(id) <- apply op (Array.map (fun f -> values.(f)) fanins));
+  Array.map (fun (_, id) -> values.(id)) (outputs t)
+
+let node_function t root vars =
+  let module T = Logic.Truthtable in
+  let n = Array.length vars in
+  let memo = Hashtbl.create 64 in
+  Array.iteri (fun i id -> Hashtbl.replace memo id (T.var n i)) vars;
+  let rec go id =
+    match Hashtbl.find_opt memo id with
+    | Some tt -> tt
+    | None ->
+        let { op; fanins } = t.nodes.(id) in
+        let tts = Array.map go fanins in
+        let tt =
+          match op with
+          | Input -> invalid_arg "node_function: reached an input not in vars"
+          | Constant b -> T.const n b
+          | Buf -> tts.(0)
+          | Not -> T.lognot tts.(0)
+          | And -> Array.fold_left T.logand (T.const n true) tts
+          | Or -> Array.fold_left T.logor (T.const n false) tts
+          | Xor -> Array.fold_left T.logxor (T.const n false) tts
+          | Nand -> T.lognot (Array.fold_left T.logand (T.const n true) tts)
+          | Nor -> T.lognot (Array.fold_left T.logor (T.const n false) tts)
+          | Xnor -> T.lognot (Array.fold_left T.logxor (T.const n false) tts)
+          | Mux -> T.logor (T.logand tts.(0) tts.(2)) (T.logand (T.lognot tts.(0)) tts.(1))
+          | Maj ->
+              T.logor
+                (T.logand tts.(0) tts.(1))
+                (T.logor (T.logand tts.(0) tts.(2)) (T.logand tts.(1) tts.(2)))
+          | Lut table ->
+              (* Compose the LUT with the fanin functions minterm by minterm:
+                 f = OR over on-set minterms m of the product of fanin
+                 literals selected by m. LUTs are small (<= 6 vars). *)
+              let k = Array.length tts in
+              let acc = ref (T.const n false) in
+              for m = 0 to (1 lsl k) - 1 do
+                if T.eval table m then begin
+                  let cube = ref (T.const n true) in
+                  for i = 0 to k - 1 do
+                    let lit = if (m lsr i) land 1 = 1 then tts.(i) else T.lognot tts.(i) in
+                    cube := T.logand !cube lit
+                  done;
+                  acc := T.logor !acc !cube
+                end
+              done;
+              !acc
+        in
+        Hashtbl.replace memo id tt;
+        tt
+  in
+  go root
+
+let pp_stats ppf t =
+  let counts = Hashtbl.create 16 in
+  let label op =
+    match op with
+    | Input -> "input"
+    | Constant _ -> "const"
+    | Buf -> "buf"
+    | Not -> "not"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Nand -> "nand"
+    | Nor -> "nor"
+    | Xnor -> "xnor"
+    | Mux -> "mux"
+    | Maj -> "maj"
+    | Lut _ -> "lut"
+  in
+  iter_nodes t (fun _ op _ ->
+      let key = label op in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)));
+  Format.fprintf ppf "nodes=%d inputs=%d outputs=%d gates=%d [" t.n (num_inputs t)
+    (num_outputs t) (num_gates t);
+  let first = ref true in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt counts key with
+      | None -> ()
+      | Some c ->
+          if not !first then Format.pp_print_string ppf " ";
+          first := false;
+          Format.fprintf ppf "%s:%d" key c)
+    [ "input"; "const"; "buf"; "not"; "and"; "or"; "xor"; "nand"; "nor"; "xnor"; "mux"; "maj"; "lut" ];
+  Format.pp_print_string ppf "]"

@@ -1,0 +1,71 @@
+(** Technology-independent gate-level netlists.
+
+    Nodes are stored in topological order: every fanin of a node has a
+    smaller id. Primary inputs are nodes with op {!Input}; primary outputs
+    are named references to nodes. This is the exchange format between the
+    benchmark generators, the AIG optimizer and the technology mapper. *)
+
+type op =
+  | Input
+  | Constant of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Xor
+  | Nand
+  | Nor
+  | Xnor
+  | Mux  (** fanins [s; a; b]: if [s] then [b] else [a] *)
+  | Maj  (** 3-input majority *)
+  | Lut of Logic.Truthtable.t
+      (** arbitrary function; fanin [i] is variable [i] of the table *)
+
+type t
+
+val create : unit -> t
+
+val add_input : t -> string -> int
+(** Returns the node id of the new primary input. *)
+
+val add_node : t -> op -> int array -> int
+(** [add_node t op fanins] appends a logic node; all fanins must already
+    exist. Arity is checked: [Buf]/[Not] take 1, [Mux]/[Maj] take 3,
+    [And]/[Or]/[Xor]/[Nand]/[Nor]/[Xnor] take >= 2, [Lut tt] takes
+    [Truthtable.nvars tt], [Constant] takes 0. *)
+
+val add_output : t -> string -> int -> unit
+
+val size : t -> int
+(** Total number of nodes, inputs included. *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+
+val inputs : t -> int array
+(** Ids of the primary inputs in declaration order. *)
+
+val outputs : t -> (string * int) array
+
+val op : t -> int -> op
+val fanins : t -> int -> int array
+val input_name : t -> int -> string
+
+val iter_nodes : t -> (int -> op -> int array -> unit) -> unit
+(** Visit every node in topological (id) order. *)
+
+val num_gates : t -> int
+(** Nodes that are neither inputs nor constants. *)
+
+val eval : t -> bool array -> bool array
+(** [eval t input_values] computes output values (in [outputs] order) for a
+    single input vector given in [inputs] order. Reference semantics used by
+    tests; simulation at scale goes through {!Sim}. *)
+
+val node_function : t -> int -> int array -> Logic.Truthtable.t
+(** [node_function t node vars] computes the function of [node] in terms of
+    the given nodes [vars]: variable [i] of the result is node [vars.(i)].
+    Every path from [node] to a primary input must pass through [vars].
+    Used for equivalence checking of small circuits in tests. *)
+
+val pp_stats : Format.formatter -> t -> unit

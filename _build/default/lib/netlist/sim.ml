@@ -1,0 +1,84 @@
+module B = Logic.Bitvec
+module T = Logic.Truthtable
+
+type result = { num_patterns : int; node_values : B.t array }
+
+let apply_op op (args : B.t array) num_patterns =
+  let fold_map2 f init =
+    if Array.length args = 0 then init
+    else Array.fold_left f args.(0) (Array.sub args 1 (Array.length args - 1))
+  in
+  match (op : Netlist.op) with
+  | Netlist.Input -> invalid_arg "Sim.apply_op: Input"
+  | Netlist.Constant b ->
+      let v = B.create num_patterns in
+      if b then B.lognot v else v
+  | Netlist.Buf -> B.copy args.(0)
+  | Netlist.Not -> B.lognot args.(0)
+  | Netlist.And -> fold_map2 B.logand (B.lognot (B.create num_patterns))
+  | Netlist.Or -> fold_map2 B.logor (B.create num_patterns)
+  | Netlist.Xor -> fold_map2 B.logxor (B.create num_patterns)
+  | Netlist.Nand -> B.lognot (fold_map2 B.logand (B.lognot (B.create num_patterns)))
+  | Netlist.Nor -> B.lognot (fold_map2 B.logor (B.create num_patterns))
+  | Netlist.Xnor -> B.lognot (fold_map2 B.logxor (B.create num_patterns))
+  | Netlist.Mux ->
+      B.logor (B.logand args.(0) args.(2)) (B.logand (B.lognot args.(0)) args.(1))
+  | Netlist.Maj ->
+      B.logor
+        (B.logand args.(0) args.(1))
+        (B.logor (B.logand args.(0) args.(2)) (B.logand args.(1) args.(2)))
+  | Netlist.Lut tt ->
+      (* Evaluate via the irredundant cover: OR of word-level cube products. *)
+      let cubes = T.isop tt in
+      let acc = ref (B.create num_patterns) in
+      List.iter
+        (fun (c : T.cube) ->
+          let prod = ref (B.lognot (B.create num_patterns)) in
+          Array.iteri
+            (fun i arg ->
+              if (c.pos lsr i) land 1 = 1 then prod := B.logand !prod arg
+              else if (c.neg lsr i) land 1 = 1 then prod := B.logand !prod (B.lognot arg))
+            args;
+          acc := B.logor !acc !prod)
+        cubes;
+      !acc
+
+let run t input_vectors =
+  let ins = Netlist.inputs t in
+  assert (Array.length input_vectors = Array.length ins);
+  let num_patterns =
+    if Array.length input_vectors = 0 then 0 else B.length input_vectors.(0)
+  in
+  Array.iter (fun v -> assert (B.length v = num_patterns)) input_vectors;
+  let node_values = Array.make (Netlist.size t) (B.create num_patterns) in
+  Array.iteri (fun i id -> node_values.(id) <- input_vectors.(i)) ins;
+  Netlist.iter_nodes t (fun id op fanins ->
+      match op with
+      | Netlist.Input -> ()
+      | Netlist.Constant _ | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or
+      | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor | Netlist.Mux
+      | Netlist.Maj | Netlist.Lut _ ->
+          let args = Array.map (fun f -> node_values.(f)) fanins in
+          node_values.(id) <- apply_op op args num_patterns);
+  { num_patterns; node_values }
+
+let run_random ?(seed = 42L) t n =
+  let rng = Logic.Prng.create seed in
+  let vectors =
+    Array.init (Netlist.num_inputs t) (fun _ ->
+        let v = B.create n in
+        B.fill_random rng v;
+        v)
+  in
+  run t vectors
+
+let signal_probability r id =
+  if r.num_patterns = 0 then 0.0
+  else float_of_int (B.popcount r.node_values.(id)) /. float_of_int r.num_patterns
+
+let toggle_rate r id =
+  if r.num_patterns <= 1 then 0.0
+  else float_of_int (B.transitions r.node_values.(id)) /. float_of_int (r.num_patterns - 1)
+
+let output_values t r =
+  Array.map (fun (name, id) -> (name, r.node_values.(id))) (Netlist.outputs t)

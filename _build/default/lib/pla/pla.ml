@@ -1,0 +1,154 @@
+module T = Logic.Truthtable
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  terms : T.cube array;
+  connects : bool array array;
+}
+
+let of_functions functions =
+  assert (Array.length functions > 0);
+  let num_inputs = T.nvars functions.(0) in
+  Array.iter (fun f -> assert (T.nvars f = num_inputs)) functions;
+  let covers = Array.map (fun f -> Logic.Twolevel.minimize f) functions in
+  (* Share identical product terms across outputs. *)
+  let index = Hashtbl.create 64 in
+  let terms = ref [] in
+  let num_terms = ref 0 in
+  let term_id cube =
+    match Hashtbl.find_opt index cube with
+    | Some i -> i
+    | None ->
+        let i = !num_terms in
+        incr num_terms;
+        Hashtbl.replace index cube i;
+        terms := cube :: !terms;
+        i
+  in
+  let per_output = Array.map (fun cover -> List.map term_id cover) covers in
+  let terms = Array.of_list (List.rev !terms) in
+  let connects =
+    Array.map
+      (fun ids ->
+        let row = Array.make (Array.length terms) false in
+        List.iter (fun i -> row.(i) <- true) ids;
+        row)
+      per_output
+  in
+  { num_inputs; num_outputs = Array.length functions; terms; connects }
+
+let of_netlist nl =
+  let module N = Nets.Netlist in
+  let inputs = N.inputs nl in
+  assert (Array.length inputs <= 16);
+  let functions =
+    Array.map (fun (_, id) -> N.node_function nl id inputs) (N.outputs nl)
+  in
+  of_functions functions
+
+let eval t minterm =
+  let term_on (cube : T.cube) =
+    minterm land cube.T.pos = cube.T.pos && minterm land cube.T.neg = 0
+  in
+  let term_values = Array.map term_on t.terms in
+  Array.map
+    (fun row ->
+      let hit = ref false in
+      Array.iteri (fun i c -> if c && term_values.(i) then hit := true) row;
+      !hit)
+    t.connects
+
+let num_terms t = Array.length t.terms
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let num_literals t =
+  Array.fold_left (fun acc (c : T.cube) -> acc + popcount c.T.pos + popcount c.T.neg) 0 t.terms
+
+let num_connects t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a c -> if c then a + 1 else a) acc row)
+    0 t.connects
+
+let check_against t nl =
+  let module N = Nets.Netlist in
+  let n = t.num_inputs in
+  let ok = ref true in
+  for m = 0 to (1 lsl n) - 1 do
+    let ins = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+    if N.eval nl ins <> eval t m then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+
+type cost = {
+  transistors : int;
+  input_inverters : int;
+  switched_cap : float;
+  reconfigurable : bool;
+}
+
+(* Expected per-cycle switched capacitance of the dynamic planes under
+   uniform inputs: a precharged line discharges whenever its NOR evaluates
+   low, i.e. with probability P(any connected device conducts). *)
+let switched_cap_of t (tech : Spice.Tech.t) =
+  let n = t.num_inputs in
+  let cap = ref 0.0 in
+  (* AND plane: term line t carries one drain per literal. *)
+  let term_tts = Array.map (fun cube -> T.cube_tt n cube) t.terms in
+  Array.iteri
+    (fun i (cube : T.cube) ->
+      let devices = popcount cube.T.pos + popcount cube.T.neg in
+      let line_cap = float_of_int (devices + 2) *. tech.Spice.Tech.c_drain in
+      (* term line is discharged when the term is NOT active (NOR-plane
+         line low) = 1 - P(term) *)
+      let p_term =
+        float_of_int (T.count_ones term_tts.(i)) /. float_of_int (1 lsl n)
+      in
+      cap := !cap +. ((1.0 -. p_term) *. line_cap))
+    t.terms;
+  (* OR plane: output line o carries one drain per connected term. *)
+  Array.iteri
+    (fun o row ->
+      let devices = Array.fold_left (fun a c -> if c then a + 1 else a) 0 row in
+      let line_cap = float_of_int (devices + 2) *. tech.Spice.Tech.c_drain in
+      let f =
+        Array.to_list t.terms
+        |> List.filteri (fun i _ -> row.(i))
+        |> List.fold_left (fun acc cube -> T.logor acc (T.cube_tt n cube)) (T.const n false)
+      in
+      let p_out = float_of_int (T.count_ones f) /. float_of_int (1 lsl n) in
+      ignore o;
+      cap := !cap +. ((1.0 -. p_out) *. line_cap))
+    t.connects;
+  !cap
+
+let plane_devices t = num_literals t + num_connects t
+
+let line_overhead t =
+  (* precharge + footer per term line and per output line *)
+  2 * (num_terms t + t.num_outputs)
+
+let ambipolar_cost t =
+  {
+    transistors = plane_devices t + line_overhead t;
+    input_inverters = 0;
+    switched_cap = switched_cap_of t Spice.Tech.cntfet;
+    reconfigurable = true;
+  }
+
+let cmos_cost t =
+  {
+    transistors = plane_devices t + line_overhead t + (2 * t.num_inputs);
+    input_inverters = t.num_inputs;
+    switched_cap = switched_cap_of t Spice.Tech.cmos;
+    reconfigurable = false;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "pla: %d inputs, %d outputs, %d terms, %d literals, %d connects"
+    t.num_inputs t.num_outputs (num_terms t) (num_literals t) (num_connects t)

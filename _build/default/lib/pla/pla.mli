@@ -1,0 +1,62 @@
+(** Programmable logic arrays.
+
+    The paper's reference [6] proposes dynamic generalized-NOR gates as the
+    core of in-field programmable ambipolar PLAs: because every AND-plane
+    device is an ambipolar CNTFET, the {e polarity} of each literal is a
+    configuration input, so the complement input columns of a classic
+    NOR-NOR PLA disappear and the array is reprogrammable in the field.
+    This module provides the PLA data structure, two-level synthesis from
+    netlists (via {!Logic.Twolevel}), and transistor/activity cost models
+    for the ambipolar and the conventional CMOS realizations. *)
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  terms : Logic.Truthtable.cube array;  (** AND plane product terms *)
+  connects : bool array array;  (** [connects.(o).(t)]: term [t] feeds output [o] *)
+}
+
+val of_functions : Logic.Truthtable.t array -> t
+(** Build a PLA computing the given single-output functions (all over the
+    same inputs, at most 16): every function is minimized with the
+    two-level engine and identical product terms are shared between
+    outputs. *)
+
+val of_netlist : Nets.Netlist.t -> t
+(** Collapse a combinational netlist (at most 16 primary inputs) to
+    two-level form. *)
+
+val eval : t -> int -> bool array
+(** Output values for an input minterm. *)
+
+val num_terms : t -> int
+val num_literals : t -> int
+val num_connects : t -> int
+
+val check_against : t -> Nets.Netlist.t -> bool
+(** Exhaustive comparison with a reference netlist. *)
+
+(** {1 Implementation cost models} *)
+
+type cost = {
+  transistors : int;
+  input_inverters : int;  (** complement-rail inverters (0 for ambipolar) *)
+  switched_cap : float;
+      (** expected capacitance switched per evaluate cycle, F — dynamic
+          NOR-NOR planes precharge every cycle and discharge with the
+          line's off-probability *)
+  reconfigurable : bool;
+}
+
+val ambipolar_cost : t -> cost
+(** Dynamic GNOR-GNOR realization with ambipolar devices: one device per
+    AND-plane literal and per OR-plane connection, a 2-transistor
+    precharge/footer pair per line, and no complement columns; literal
+    polarities are in-field configuration. *)
+
+val cmos_cost : t -> cost
+(** Conventional dynamic NOR-NOR realization: same array devices plus one
+    inverter per input to build the complement rails; polarities fixed at
+    manufacturing. *)
+
+val pp : Format.formatter -> t -> unit

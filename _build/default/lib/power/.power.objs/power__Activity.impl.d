@@ -1,0 +1,1 @@
+lib/power/activity.ml: Cell List Logic

@@ -1,0 +1,1 @@
+lib/power/activity.mli: Cell Logic

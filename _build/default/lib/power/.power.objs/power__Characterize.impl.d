@@ -1,0 +1,1 @@
+lib/power/characterize.ml: Activity Array Cell Leakage List Option Pattern Powermodel Spice

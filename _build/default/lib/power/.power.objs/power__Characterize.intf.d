@@ -1,0 +1,1 @@
+lib/power/characterize.mli: Cell Pattern Powermodel

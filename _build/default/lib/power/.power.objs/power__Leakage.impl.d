@@ -1,0 +1,1 @@
+lib/power/leakage.ml: Array Hashtbl List Pattern Printf Spice

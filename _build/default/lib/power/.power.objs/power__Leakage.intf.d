@@ -1,0 +1,1 @@
+lib/power/leakage.mli: Pattern Spice

@@ -1,0 +1,1 @@
+lib/power/pattern.ml: Array Cell Format Int List Set Stdlib

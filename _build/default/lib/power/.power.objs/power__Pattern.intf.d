@@ -1,0 +1,1 @@
+lib/power/pattern.mli: Cell Format

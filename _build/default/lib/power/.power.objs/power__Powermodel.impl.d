@@ -1,0 +1,1 @@
+lib/power/powermodel.ml: Format Spice

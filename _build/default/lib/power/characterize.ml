@@ -1,0 +1,101 @@
+module G = Cell.Genlib
+module Cells = Cell.Cells
+
+type gate_char = {
+  gate : G.gate;
+  alpha : float;
+  c_load : float;
+  avg_ioff : float;
+  avg_ig : float;
+  power : Powermodel.components;
+  ioff_by_vector : float array;
+  delay : float;
+  area : float;
+}
+
+type library_char = {
+  library : G.t;
+  gates : gate_char list;
+  avg_alpha : float;
+  avg_total_power : float;
+  avg_dynamic : float;
+  avg_static : float;
+  avg_gate_leak : float;
+  pattern_count : int;
+}
+
+let average a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let characterize_gate (lib : G.t) (gate : G.gate) =
+  let pins = gate.G.cell.Cells.pins in
+  let tech = gate.G.tech in
+  let patterns = Pattern.analyze gate.G.impl ~pins in
+  let ioff_by_vector = Leakage.gate_ioff tech patterns in
+  let ig_by_vector = Leakage.gate_ig tech patterns in
+  let alpha = Activity.gate_alpha (Cells.tt gate.G.cell) in
+  let c_load = G.gate_load gate in
+  let avg_ioff = average ioff_by_vector in
+  let avg_ig = average ig_by_vector in
+  let power =
+    Powermodel.make ~alpha ~c_load ~ioff:avg_ioff ~ig:avg_ig ~vdd:tech.Spice.Tech.vdd ()
+  in
+  ignore lib;
+  {
+    gate;
+    alpha;
+    c_load;
+    avg_ioff;
+    avg_ig;
+    power;
+    ioff_by_vector;
+    delay = gate.G.delay;
+    area = gate.G.area;
+  }
+
+let characterize (lib : G.t) =
+  let gates = List.map (characterize_gate lib) lib.G.gates in
+  let mean f =
+    List.fold_left (fun acc g -> acc +. f g) 0.0 gates /. float_of_int (List.length gates)
+  in
+  let census =
+    Pattern.census
+      (List.map (fun g -> (g.G.impl, g.G.cell.Cells.pins)) lib.G.gates)
+  in
+  {
+    library = lib;
+    gates;
+    avg_alpha = mean (fun g -> g.alpha);
+    avg_total_power = mean (fun g -> Powermodel.total g.power);
+    avg_dynamic = mean (fun g -> g.power.Powermodel.dynamic);
+    avg_static = mean (fun g -> g.power.Powermodel.static);
+    avg_gate_leak = mean (fun g -> g.power.Powermodel.gate_leak);
+    pattern_count = List.length census;
+  }
+
+let compare_totals a b =
+  let find_in chars name =
+    List.find_opt (fun g -> g.gate.G.cell.Cells.name = name) chars
+  in
+  let shared =
+    List.filter_map
+      (fun ga ->
+        match find_in b.gates ga.gate.G.cell.Cells.name with
+        | Some gb -> Some (Powermodel.total ga.power, Powermodel.total gb.power)
+        | None -> None)
+      a.gates
+  in
+  let savings = List.map (fun (pa, pb) -> 1.0 -. (pa /. pb)) shared in
+  List.fold_left ( +. ) 0.0 savings /. float_of_int (List.length savings)
+
+let pattern_census_all () =
+  let amb =
+    List.map (fun c -> (c.Cells.ambipolar, c.Cells.pins)) Cells.all
+  in
+  let sta =
+    List.filter_map
+      (fun c -> Option.map (fun impl -> (impl, c.Cells.pins)) c.Cells.static)
+      Cells.all
+  in
+  Pattern.census (amb @ sta)

@@ -1,0 +1,43 @@
+(** Library characterization — the simulation flow of Fig. 5.
+
+    For every gate of a mapping library: the gate topology analyzer maps
+    input vectors to I_off/I_g patterns and computes the activity factor;
+    the circuit simulator quantifies each distinct pattern once; averaging
+    over input vectors yields the static components; the activity factor
+    and the fanout-3 load give the dynamic components. *)
+
+type gate_char = {
+  gate : Cell.Genlib.gate;
+  alpha : float;  (** combinational activity factor *)
+  c_load : float;  (** characterization load, F *)
+  avg_ioff : float;  (** A, averaged over input vectors *)
+  avg_ig : float;  (** A, averaged over input vectors *)
+  power : Powermodel.components;  (** at f = 1 GHz, V_DD = 0.9 V *)
+  ioff_by_vector : float array;
+  delay : float;  (** s *)
+  area : float;  (** unit transistors *)
+}
+
+type library_char = {
+  library : Cell.Genlib.t;
+  gates : gate_char list;
+  avg_alpha : float;
+  avg_total_power : float;
+  avg_dynamic : float;
+  avg_static : float;
+  avg_gate_leak : float;
+  pattern_count : int;  (** distinct I_off patterns across this library *)
+}
+
+val characterize_gate : Cell.Genlib.t -> Cell.Genlib.gate -> gate_char
+val characterize : Cell.Genlib.t -> library_char
+
+val compare_totals : library_char -> library_char -> float
+(** [compare_totals a b]: mean over the cells present in both libraries of
+    the relative total-power saving of [a] versus [b] (0.28 = "dissipates
+    28 % less power"). *)
+
+val pattern_census_all : unit -> Pattern.t list
+(** Distinct patterns across the whole generalized library (ambipolar
+    realizations) plus the conventional static realizations — the paper's
+    library-wide count. *)

@@ -1,0 +1,77 @@
+module C = Spice.Circuit
+module D = Spice.Device
+module T = Spice.Tech
+
+(* The key captures every tech field the DC solve depends on, so derived
+   corners (other supplies, temperatures, threshold shifts) do not collide. *)
+type key = { family : T.family; vdd : float; vt : float; vth : float; pattern : Pattern.t }
+
+let cache : (key, float) Hashtbl.t = Hashtbl.create 64
+let misses = ref 0
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  misses := 0
+
+let cache_stats () = (Hashtbl.length cache, !misses)
+
+(* Build the pattern between two circuit nodes as unit off n-devices (gate
+   grounded, maximum-leakage bias per the paper's equal-n/p assumption). *)
+let rec build c tech ~top ~bottom ~fresh = function
+  | Pattern.Unit k ->
+      for _ = 1 to k do
+        C.add_transistor c (D.Nmos tech) ~d:top ~g:C.ground ~s:bottom ()
+      done
+  | Pattern.Series parts ->
+      let rec chain top = function
+        | [] -> ()
+        | [ last ] -> build c tech ~top ~bottom ~fresh last
+        | part :: rest ->
+            let mid = fresh () in
+            build c tech ~top ~bottom:mid ~fresh part;
+            chain mid rest
+      in
+      chain top parts
+  | Pattern.Parallel parts ->
+      List.iter (fun part -> build c tech ~top ~bottom ~fresh part) parts
+
+let solve_pattern tech pattern =
+  match pattern with
+  | Pattern.Unit 0 -> 0.0
+  | Pattern.Unit _ | Pattern.Series _ | Pattern.Parallel _ ->
+      let c = C.create () in
+      let vdd = C.node c "vdd" in
+      C.add_vsource c vdd tech.T.vdd;
+      let counter = ref 0 in
+      let fresh () =
+        incr counter;
+        C.node c (Printf.sprintf "n%d" !counter)
+      in
+      build c tech ~top:vdd ~bottom:C.ground ~fresh pattern;
+      let sol = C.solve c in
+      C.source_current c sol vdd
+
+let pattern_ioff tech pattern =
+  let key =
+    { family = tech.T.family; vdd = tech.T.vdd; vt = tech.T.temp_vt; vth = tech.T.vth_n; pattern }
+  in
+  match Hashtbl.find_opt cache key with
+  | Some i -> i
+  | None ->
+      incr misses;
+      let i = solve_pattern tech pattern in
+      Hashtbl.replace cache key i;
+      i
+
+let gate_ioff tech (gp : Pattern.gate_patterns) =
+  let unit = pattern_ioff tech (Pattern.Unit 1) in
+  Array.map
+    (fun p -> pattern_ioff tech p +. (float_of_int gp.Pattern.extra_unit_offs *. unit))
+    gp.Pattern.off_pattern
+
+let gate_ig tech (gp : Pattern.gate_patterns) =
+  Array.init
+    (Array.length gp.Pattern.on_devices)
+    (fun v ->
+      (float_of_int gp.Pattern.on_devices.(v) *. tech.T.ig_on_unit)
+      +. (float_of_int gp.Pattern.off_devices.(v) *. tech.T.ig_off_unit))

@@ -1,0 +1,146 @@
+module N = Cell.Network
+
+type t = Unit of int | Series of t list | Parallel of t list
+
+let rec compare a b =
+  match (a, b) with
+  | Unit x, Unit y -> Stdlib.compare x y
+  | Unit _, (Series _ | Parallel _) -> -1
+  | (Series _ | Parallel _), Unit _ -> 1
+  | Series x, Series y | Parallel x, Parallel y -> compare_list x y
+  | Series _, Parallel _ -> -1
+  | Parallel _, Series _ -> 1
+
+and compare_list x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: xs, b :: ys ->
+      let c = compare a b in
+      if c <> 0 then c else compare_list xs ys
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Unit 1 -> Format.pp_print_string ppf "u"
+  | Unit k -> Format.fprintf ppf "%du" k
+  | Series parts ->
+      Format.fprintf ppf "ser(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') pp)
+        parts
+  | Parallel parts ->
+      Format.fprintf ppf "par(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') pp)
+        parts
+
+(* Canonicalizing constructors. *)
+let series parts =
+  let parts =
+    List.concat_map (function Series inner -> inner | (Unit _ | Parallel _) as p -> [ p ]) parts
+  in
+  match List.sort compare parts with [] -> Unit 0 | [ p ] -> p | ps -> Series ps
+
+let parallel parts =
+  let parts =
+    List.concat_map
+      (function Parallel inner -> inner | (Unit _ | Series _) as p -> [ p ])
+      parts
+  in
+  (* Merge parallel unit devices into a single weighted unit. *)
+  let units, rest =
+    List.partition_map (function Unit k -> Left k | (Series _ | Parallel _) as p -> Right p) parts
+  in
+  let unit_total = List.fold_left ( + ) 0 units in
+  let parts = if unit_total > 0 then Unit unit_total :: rest else rest in
+  match List.sort compare parts with [] -> Unit 0 | [ p ] -> p | ps -> Parallel ps
+
+type reduced = Short | Pat of t
+
+let of_network net env =
+  let rec reduce = function
+    | N.Dev d ->
+        if N.conducts env (N.Dev d) then Short
+        else
+          Pat
+            (match d with
+            | N.Fixed_n _ | N.Fixed_p _ -> Unit 1
+            | N.Tgate _ -> Unit 2)
+    | N.Ser children ->
+        let reduced = List.map reduce children in
+        let pats =
+          List.filter_map (function Short -> None | Pat p -> Some p) reduced
+        in
+        if pats = [] then Short else Pat (series pats)
+    | N.Par children ->
+        let reduced = List.map reduce children in
+        if List.exists (function Short -> true | Pat _ -> false) reduced then Short
+        else
+          Pat
+            (parallel
+               (List.map (function Pat p -> p | Short -> assert false) reduced))
+  in
+  match reduce net with Short -> None | Pat p -> Some p
+
+(* ------------------------------------------------------------------ *)
+
+type gate_patterns = {
+  off_pattern : t array;
+  extra_unit_offs : int;
+  on_devices : int array;
+  off_devices : int array;
+}
+
+let count_devices env net =
+  let on = ref 0 and off = ref 0 in
+  let rec go = function
+    | N.Dev d ->
+        let n = match d with N.Fixed_n _ | N.Fixed_p _ -> 1 | N.Tgate _ -> 2 in
+        if N.conducts env (N.Dev d) then on := !on + n else off := !off + n
+    | N.Ser children | N.Par children -> List.iter go children
+  in
+  go net;
+  (!on, !off)
+
+let analyze (impl : N.impl) ~pins =
+  let num_vectors = 1 lsl pins in
+  let complemented =
+    let module S = Set.Make (Int) in
+    S.cardinal
+      (S.union
+         (S.of_list (N.complemented_pins impl.N.pull_up))
+         (S.of_list (N.complemented_pins impl.N.pull_down)))
+  in
+  let num_inverters = complemented + if impl.N.output_inverter then 1 else 0 in
+  let off_pattern = Array.make num_vectors (Unit 0) in
+  let on_devices = Array.make num_vectors 0 in
+  let off_devices = Array.make num_vectors 0 in
+  for v = 0 to num_vectors - 1 do
+    let env i = (v lsr i) land 1 = 1 in
+    let pu_on = N.conducts env impl.N.pull_up in
+    let off_net = if pu_on then impl.N.pull_down else impl.N.pull_up in
+    (match of_network off_net env with
+    | Some p -> off_pattern.(v) <- p
+    | None -> failwith "Pattern.analyze: both networks conduct");
+    let on_pu, off_pu = count_devices env impl.N.pull_up in
+    let on_pd, off_pd = count_devices env impl.N.pull_down in
+    (* Every internal inverter has one on and one off device. *)
+    on_devices.(v) <- on_pu + on_pd + num_inverters;
+    off_devices.(v) <- off_pu + off_pd + num_inverters
+  done;
+  { off_pattern; extra_unit_offs = num_inverters; on_devices; off_devices }
+
+let census impls =
+  let module S = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end) in
+  let acc = ref S.empty in
+  List.iter
+    (fun (impl, pins) ->
+      let patterns = analyze impl ~pins in
+      Array.iter (fun p -> acc := S.add p !acc) patterns.off_pattern;
+      if patterns.extra_unit_offs > 0 then acc := S.add (Unit 1) !acc)
+    impls;
+  S.elements !acc

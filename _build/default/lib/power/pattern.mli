@@ -1,0 +1,47 @@
+(** I_off pattern extraction and classification (Section 3.2 of the paper,
+    after Gu & Elmasry).
+
+    For a gate and an input vector, exactly one of the pull-up/pull-down
+    networks is off; the subthreshold leakage flows through that off network
+    with the full supply across it. The pattern of that off network — after
+    shorting on-devices and deleting off-devices bypassed by parallel
+    on-paths — determines I_off. Many input vectors share a pattern, so only
+    the distinct patterns need circuit simulation: the paper reports 26
+    across its whole library. *)
+
+type t =
+  | Unit of int
+      (** [Unit k]: [k] identical unit off-devices in parallel (a single off
+          transistor is [Unit 1]; an off transmission gate contributes its
+          two parallel devices) *)
+  | Series of t list  (** sorted, flattened, length >= 2 *)
+  | Parallel of t list  (** sorted, flattened, length >= 2 *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [3u] for three parallel units, [ser(u,u,u)] for a stack. *)
+
+val of_network : Cell.Network.network -> (int -> bool) -> t option
+(** [of_network net env] reduces the network under the assignment: on
+    devices become shorts, parallel branches containing a conducting path
+    disappear. [None] if the whole network conducts (it is the on network —
+    no leakage pattern). *)
+
+type gate_patterns = {
+  off_pattern : t array;  (** per input vector, pattern of the main off network *)
+  extra_unit_offs : int;
+      (** off devices of internal inverters (complement generators and the
+          output inverter), each an independent unit leak per vector *)
+  on_devices : int array;  (** per vector: conducting devices, inverters included *)
+  off_devices : int array;  (** per vector: non-conducting devices, inverters included *)
+}
+
+val analyze : Cell.Network.impl -> pins:int -> gate_patterns
+(** The paper's "gate topology analyzer": walk all [2^pins] input vectors of
+    the implementation. *)
+
+val census : (Cell.Network.impl * int) list -> t list
+(** Distinct off-network patterns across a library of (implementation, pin
+    count) pairs, sorted; the paper's "26 different I_off patterns". *)

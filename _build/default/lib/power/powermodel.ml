@@ -1,0 +1,30 @@
+type components = {
+  dynamic : float;
+  short_circuit : float;
+  static : float;
+  gate_leak : float;
+}
+
+let total p = p.dynamic +. p.short_circuit +. p.static +. p.gate_leak
+
+let dynamic ~alpha ~c_load ?(f = Spice.Tech.frequency) ~vdd () =
+  alpha *. c_load *. f *. vdd *. vdd
+
+let short_circuit_of_dynamic pd = Spice.Tech.short_circuit_fraction *. pd
+let static_power ~ioff ~vdd = ioff *. vdd
+let gate_leak_power ~ig ~vdd = ig *. vdd
+
+let make ~alpha ~c_load ~ioff ~ig ?(f = Spice.Tech.frequency) ~vdd () =
+  let pd = dynamic ~alpha ~c_load ~f ~vdd () in
+  {
+    dynamic = pd;
+    short_circuit = short_circuit_of_dynamic pd;
+    static = static_power ~ioff ~vdd;
+    gate_leak = gate_leak_power ~ig ~vdd;
+  }
+
+let edp ~total_power ~delay ?(f = Spice.Tech.frequency) () = total_power /. f *. delay
+
+let pp ppf p =
+  Format.fprintf ppf "PD=%.3g PSC=%.3g PS=%.3g PG=%.3g PT=%.3g" p.dynamic
+    p.short_circuit p.static p.gate_leak (total p)

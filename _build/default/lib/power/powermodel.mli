@@ -1,0 +1,27 @@
+(** The paper's power model, Eq. (1)-(5):
+
+    P_T = P_D + P_SC + P_S + P_G, with
+    P_D = alpha · C · f · V_DD², P_SC = 0.15 · P_D,
+    P_S = I_off · V_DD, P_G = I_g · V_DD. *)
+
+type components = {
+  dynamic : float;
+  short_circuit : float;
+  static : float;
+  gate_leak : float;
+}
+
+val total : components -> float
+
+val dynamic : alpha:float -> c_load:float -> ?f:float -> vdd:float -> unit -> float
+val short_circuit_of_dynamic : float -> float
+val static_power : ioff:float -> vdd:float -> float
+val gate_leak_power : ig:float -> vdd:float -> float
+
+val make :
+  alpha:float -> c_load:float -> ioff:float -> ig:float -> ?f:float -> vdd:float -> unit -> components
+
+val edp : total_power:float -> delay:float -> ?f:float -> unit -> float
+(** Energy-delay product as reported in Table 1: (P_T / f) · delay, J·s. *)
+
+val pp : Format.formatter -> components -> unit

@@ -1,0 +1,1 @@
+lib/spice/tech.ml: Format

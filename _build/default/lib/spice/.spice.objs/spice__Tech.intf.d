@@ -1,0 +1,1 @@
+lib/spice/tech.mli: Format

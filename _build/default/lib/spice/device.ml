@@ -1,0 +1,38 @@
+type kind = Nmos of Tech.t | Pmos of Tech.t | Ambipolar of Tech.t
+
+let tech = function Nmos t | Pmos t | Ambipolar t -> t
+
+(* Symmetric EKV: Ids = Ispec (if(vg - vs) - if(vg - vd)), with
+   if(v) = ln^2(1 + exp((v - vth) / (2 n vt))). Negative Ids means reverse
+   conduction, which the nodal solver handles naturally. *)
+let ekv_current (t : Tech.t) ~vth ~vg ~vd ~vs =
+  let half = 2.0 *. t.ss_factor *. t.temp_vt in
+  let f v =
+    let x = (v -. vth) /. half in
+    (* Guard against overflow for strongly forward-biased terms. *)
+    let l = if x > 40.0 then x else log (1.0 +. exp x) in
+    l ** t.sat_exponent
+  in
+  t.ispec *. (f (vg -. vs) -. f (vg -. vd))
+
+let nmos_ids t ~vg ~vd ~vs = ekv_current t ~vth:t.Tech.vth_n ~vg ~vd ~vs
+
+(* PMOS: mirror voltages around the rails. *)
+let pmos_ids t ~vg ~vd ~vs =
+  -.ekv_current t ~vth:t.Tech.vth_p ~vg:(-.vg) ~vd:(-.vd) ~vs:(-.vs)
+
+let ids kind ~vg ~vd ~vs ~vpg =
+  match kind with
+  | Nmos t -> nmos_ids t ~vg ~vd ~vs
+  | Pmos t -> pmos_ids t ~vg ~vd ~vs
+  | Ambipolar t ->
+      (* Smooth blend between the two polarities driven by the polarity
+         gate; PG is rail-driven in all library gates so the blend acts as a
+         selector while keeping the function differentiable. *)
+      let w = vpg /. t.Tech.vdd in
+      let w = if w < 0.0 then 0.0 else if w > 1.0 then 1.0 else w in
+      ((1.0 -. w) *. nmos_ids t ~vg ~vd ~vs) +. (w *. pmos_ids t ~vg ~vd ~vs)
+
+let gate_leak kind ~on =
+  let t = tech kind in
+  if on then t.Tech.ig_on_unit else t.Tech.ig_off_unit

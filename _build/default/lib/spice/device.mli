@@ -1,0 +1,25 @@
+(** Analytic device models evaluated by the DC solver.
+
+    The drain current model is a symmetric EKV formulation: smooth from deep
+    subthreshold (which dominates the paper's I_off patterns) to strong
+    inversion, and well-behaved under Newton iteration. The ambipolar
+    CNTFET is the behavioural model the paper adopts from O'Connor et al.: a
+    polarity-gate-controlled selection between an n- and a p-branch. *)
+
+type kind =
+  | Nmos of Tech.t
+  | Pmos of Tech.t
+  | Ambipolar of Tech.t
+      (** four-terminal device; the polarity gate chooses n- (PG low) or
+          p-type (PG high) behaviour. Always built from the CNTFET corner in
+          this reproduction, but the model is corner-generic. *)
+
+val ids : kind -> vg:float -> vd:float -> vs:float -> vpg:float -> float
+(** Drain-to-source current (positive into the drain). [vpg] is ignored by
+    [Nmos]/[Pmos]. *)
+
+val gate_leak : kind -> on:bool -> float
+(** First-order gate tunneling current of a device that is logically on or
+    off at rail bias. *)
+
+val tech : kind -> Tech.t

@@ -1,0 +1,81 @@
+type family = Cmos_bulk_32 | Cntfet_32
+
+type t = {
+  family : family;
+  vdd : float;
+  temp_vt : float;
+  vth_n : float;
+  vth_p : float;
+  ss_factor : float;
+  sat_exponent : float;
+  ispec : float;
+  ioff_unit : float;
+  ig_on_unit : float;
+  ig_off_unit : float;
+  c_gate : float;
+  c_drain : float;
+  tau : float;
+}
+
+let vt_room = 0.02585
+
+(* EKV forward normalized current at a given overdrive. *)
+let ekv_if ~n ~alpha ~vth ~vt vgs =
+  let l = log (1.0 +. exp ((vgs -. vth) /. (2.0 *. n *. vt))) in
+  l ** alpha
+
+(* Specific current chosen so that Ids(Vgs=0, Vds=Vdd) = ioff_unit. *)
+let derive_ispec ~n ~alpha ~vth ~vt ~vdd ioff_unit =
+  let f0 = ekv_if ~n ~alpha ~vth ~vt 0.0 in
+  let fr = ekv_if ~n ~alpha ~vth ~vt (-.vdd) in
+  ioff_unit /. (f0 -. fr)
+
+let make family ~vth ~ss_factor ~sat_exponent ~ioff_unit ~ig_on_unit ~ig_off_unit ~c_gate
+    ~c_drain ~tau =
+  let vdd = 0.9 in
+  {
+    family;
+    vdd;
+    temp_vt = vt_room;
+    vth_n = vth;
+    vth_p = vth;
+    ss_factor;
+    sat_exponent;
+    ispec =
+      derive_ispec ~n:ss_factor ~alpha:sat_exponent ~vth ~vt:vt_room ~vdd ioff_unit;
+    ioff_unit;
+    ig_on_unit;
+    ig_off_unit;
+    c_gate;
+    c_drain;
+    tau;
+  }
+
+(* 32 nm bulk CMOS, metal gate + strained channel (ITRS 2007 / MASTAR-class
+   first-order values). Gate cap chosen so an inverter presents 52 aF. *)
+let cmos =
+  make Cmos_bulk_32 ~vth:0.30 ~ss_factor:1.5 ~sat_exponent:1.4 ~ioff_unit:2.0e-9 ~ig_on_unit:1.0e-10
+    ~ig_off_unit:1.0e-11 ~c_gate:26.0e-18 ~c_drain:26.0e-18 ~tau:12.0e-12
+
+(* MOSFET-like CNTFET: 32 nm gate, 3 CNTs per channel, high-κ insulator
+   (negligible gate tunneling), thick back insulator (low junction leakage),
+   5x lower intrinsic delay [Deng et al., ISSCC'07]. Inverter input cap
+   36 aF. *)
+let cntfet =
+  make Cntfet_32 ~vth:0.30 ~ss_factor:1.1 ~sat_exponent:1.65 ~ioff_unit:1.0e-10 ~ig_on_unit:4.0e-13
+    ~ig_off_unit:4.0e-14 ~c_gate:18.0e-18 ~c_drain:18.0e-18 ~tau:2.4e-12
+
+let frequency = 1.0e9
+let short_circuit_fraction = 0.15
+let fanout = 3
+let inverter_input_cap t = 2.0 *. t.c_gate
+
+let with_vdd t vdd = { t with vdd }
+
+let with_temperature t ~kelvin = { t with temp_vt = vt_room *. kelvin /. 300.0 }
+
+let with_vth_shift t dv = { t with vth_n = t.vth_n +. dv; vth_p = t.vth_p +. dv }
+
+let pp_family ppf = function
+  | Cmos_bulk_32 -> Format.pp_print_string ppf "cmos-32nm"
+  | Cntfet_32 -> Format.pp_print_string ppf "cntfet-32nm"

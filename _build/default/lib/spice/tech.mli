@@ -1,0 +1,67 @@
+(** Technology parameter tables.
+
+    Plays the role of the paper's MASTAR/ITRS 32 nm bulk data [11] and of
+    the Stanford CNTFET model card [9]: first-order constants from which the
+    device models and the gate characterization derive leakage currents,
+    capacitances and delays. Both corners share V_DD = 0.9 V and f = 1 GHz
+    (Section 4 of the paper). *)
+
+type family = Cmos_bulk_32 | Cntfet_32
+(** 32 nm bulk CMOS (metal gate, strained channel) and MOSFET-like CNTFET
+    (32 nm gate, 3 CNTs per channel, high-κ gate dielectric). *)
+
+type t = {
+  family : family;
+  vdd : float;  (** supply voltage, V *)
+  temp_vt : float;  (** thermal voltage kT/q, V *)
+  vth_n : float;  (** n-device threshold, V *)
+  vth_p : float;  (** p-device threshold magnitude, V *)
+  ss_factor : float;  (** subthreshold slope factor n (SS = n·vt·ln 10) *)
+  sat_exponent : float;
+      (** exponent of the EKV interpolation function: 2 is the ideal
+          long-channel square law; short-channel (velocity-saturated) bulk
+          CMOS sits near 1.4, near-ballistic CNTFETs near 1.65 *)
+  ispec : float;  (** EKV specific current per unit device, A *)
+  ioff_unit : float;  (** off-current of a unit device at Vgs=0, Vds=Vdd, A *)
+  ig_on_unit : float;  (** gate tunneling current of a fully-biased ON device, A *)
+  ig_off_unit : float;  (** gate tunneling of an OFF device, A *)
+  c_gate : float;  (** unit gate capacitance, F *)
+  c_drain : float;  (** unit drain/source capacitance, F *)
+  tau : float;  (** intrinsic per-stage delay unit, s *)
+}
+
+val cmos : t
+val cntfet : t
+
+val frequency : float
+(** Operating frequency used throughout the paper's evaluation: 1 GHz. *)
+
+val short_circuit_fraction : float
+(** P_SC = 0.15 · P_D (Nose & Sakurai conjecture adopted by the paper). *)
+
+val fanout : int
+(** Load fanout assumed during gate characterization (3). *)
+
+val inverter_input_cap : t -> float
+(** Gate capacitance of an inverter (one n + one p device); the paper quotes
+    36 aF for CNTFET vs 52 aF for CMOS. *)
+
+val pp_family : Format.formatter -> family -> unit
+
+(** {1 Corner derivation}
+
+    Derived corners keep the device's specific current (its physical
+    strength) and shift only the operating condition, so off-currents,
+    on-currents and delays respond through the model rather than being
+    re-calibrated — which is the point of sensitivity analysis. *)
+
+val with_vdd : t -> float -> t
+(** Same devices at a different supply. *)
+
+val with_temperature : t -> kelvin:float -> t
+(** Same devices at a different temperature (thermal voltage scales as
+    kT/q; 300 K is the calibration point). *)
+
+val with_vth_shift : t -> float -> t
+(** Same devices with both thresholds shifted by the given amount (V) —
+    the process-variation knob for Monte-Carlo leakage analysis. *)

@@ -1,0 +1,141 @@
+type stimulus = float -> float
+
+let step ?(t0 = 0.0) ?(rise = 1.0e-12) ~low ~high () t =
+  if t <= t0 then low
+  else if t >= t0 +. rise then high
+  else low +. ((high -. low) *. (t -. t0) /. rise)
+
+type waveform = { times : float array; voltages : float array }
+
+let simulate circuit ~caps ~drives ~tstop ?(dv_max = 2.0e-3) ?(samples = 400) watch =
+  let n = Circuit.num_nodes circuit in
+  let cap = Array.make n 0.0 in
+  List.iter (fun (node, c) -> cap.(node) <- c) caps;
+  let driven = Array.make n None in
+  List.iter (fun (node, s) -> driven.(node) <- Some s) drives;
+  (* Initial condition: DC solve with the t=0 stimulus values applied as
+     extra sources is overkill for our use (all watched circuits start in a
+     settled rail state); start free nodes at their DC value given t=0
+     drives by briefly relaxing the system. *)
+  let v = Array.make n 0.0 in
+  for node = 0 to n - 1 do
+    if Circuit.is_source circuit node then v.(node) <- Circuit.source_value circuit node;
+    match driven.(node) with Some s -> v.(node) <- s 0.0 | None -> ()
+  done;
+  (* Settle free nodes to a quasi-static start: integrate with the t = 0
+     stimulus frozen until the state stops moving. *)
+  let free node =
+    (not (Circuit.is_source circuit node)) && driven.(node) = None && cap.(node) > 0.0
+  in
+  let adaptive_dt currents bound =
+    let dt = ref bound in
+    for node = 1 to n - 1 do
+      if free node then begin
+        let rate = abs_float (currents.(node) /. cap.(node)) in
+        if rate > 0.0 then dt := min !dt (dv_max /. rate)
+      end
+    done;
+    max !dt 1.0e-18
+  in
+  let settle_budget = ref 200_000 in
+  let moving = ref true in
+  while !moving && !settle_budget > 0 do
+    decr settle_budget;
+    let currents = Circuit.node_currents circuit v in
+    let dt = adaptive_dt currents (tstop /. 10.0) in
+    let biggest = ref 0.0 in
+    for node = 1 to n - 1 do
+      if free node then begin
+        let dv = -.(currents.(node) /. cap.(node)) *. dt in
+        v.(node) <- v.(node) +. dv;
+        if abs_float dv > !biggest then biggest := abs_float dv
+      end
+    done;
+    if !biggest < dv_max /. 100.0 then moving := false
+  done;
+  let sample_dt = tstop /. float_of_int samples in
+  let recorded = List.map (fun node -> (node, ref [ (0.0, v.(node)) ])) watch in
+  let t = ref 0.0 in
+  let next_sample = ref sample_dt in
+  let steps = ref 0 in
+  let max_steps = 5_000_000 in
+  while !t < tstop && !steps < max_steps do
+    incr steps;
+    (* Adaptive step: bound every free node's voltage change. *)
+    let currents = Circuit.node_currents circuit v in
+    let dt = adaptive_dt currents (tstop /. 1000.0) in
+    let dt = min dt (tstop -. !t) in
+    for node = 1 to n - 1 do
+      if Circuit.is_source circuit node then ()
+      else
+        match driven.(node) with
+        | Some s -> v.(node) <- s (!t +. dt)
+        | None ->
+            if cap.(node) > 0.0 then
+              v.(node) <- v.(node) -. (currents.(node) /. cap.(node) *. dt)
+    done;
+    t := !t +. dt;
+    if !t >= !next_sample then begin
+      List.iter (fun (node, acc) -> acc := (!t, v.(node)) :: !acc) recorded;
+      next_sample := !next_sample +. sample_dt
+    end
+  done;
+  List.map
+    (fun (node, acc) ->
+      let pts = List.rev !acc in
+      ( node,
+        {
+          times = Array.of_list (List.map fst pts);
+          voltages = Array.of_list (List.map snd pts);
+        } ))
+    recorded
+
+let crossing_time w level direction =
+  let n = Array.length w.times in
+  let rec scan i =
+    if i + 1 >= n then None
+    else begin
+      let v0 = w.voltages.(i) and v1 = w.voltages.(i + 1) in
+      let crossed =
+        match direction with
+        | `Rising -> v0 < level && v1 >= level
+        | `Falling -> v0 > level && v1 <= level
+      in
+      if crossed then begin
+        let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+        let frac = if v1 = v0 then 0.0 else (level -. v0) /. (v1 -. v0) in
+        Some (t0 +. (frac *. (t1 -. t0)))
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let inverter_delay (tech : Tech.t) =
+  let vdd = tech.Tech.vdd in
+  let c = Circuit.create () in
+  let vdd_node = Circuit.node c "vdd" in
+  let input = Circuit.node c "in" in
+  let out = Circuit.node c "out" in
+  Circuit.add_vsource c vdd_node vdd;
+  Circuit.add_transistor c (Device.Pmos tech) ~d:out ~g:input ~s:vdd_node ();
+  Circuit.add_transistor c (Device.Nmos tech) ~d:out ~g:input ~s:Circuit.ground ();
+  (* Load: own drain caps + fanout-3 inverter input loads. *)
+  let c_load =
+    (2.0 *. tech.Tech.c_drain) +. (float_of_int Tech.fanout *. Tech.inverter_input_cap tech)
+  in
+  let t_edge = 2.0e-12 in
+  let stim = step ~t0:t_edge ~rise:0.5e-12 ~low:0.0 ~high:vdd () in
+  let tstop = 60.0e-12 in
+  let waves =
+    simulate c
+      ~caps:[ (out, c_load) ]
+      ~drives:[ (input, stim) ]
+      ~tstop ~samples:3000 [ out ]
+  in
+  let wave = List.assoc out waves in
+  let half = vdd /. 2.0 in
+  let t_in = t_edge +. 0.25e-12 in
+  match crossing_time wave half `Falling with
+  | Some t_out -> t_out -. t_in
+  | None -> failwith "Transient.inverter_delay: output never crossed 50%"

@@ -1,0 +1,42 @@
+(** Transient analysis: explicit adaptive time integration of node voltages
+    over the device models.
+
+    Used to {e derive} the intrinsic-delay technology booster that the paper
+    takes from Deng et al. [10] ("the intrinsic CNTFET delay is 5x lower
+    than the MOSFET delay"): stepping an inverter of each technology into
+    its characterization load and measuring the 50 %-crossing propagation
+    delay. Only capacitors at circuit nodes are modeled (C dV/dt = -I);
+    nodes driven by sources follow their stimulus exactly. *)
+
+type stimulus = float -> float
+(** Voltage of a driven node as a function of time (seconds). *)
+
+val step : ?t0:float -> ?rise:float -> low:float -> high:float -> unit -> stimulus
+(** Linear ramp from [low] to [high] starting at [t0] (default 0) over
+    [rise] seconds (default 1 ps). *)
+
+type waveform = { times : float array; voltages : float array }
+
+val simulate :
+  Circuit.t ->
+  caps:(Circuit.node * float) list ->
+  drives:(Circuit.node * stimulus) list ->
+  tstop:float ->
+  ?dv_max:float ->
+  ?samples:int ->
+  Circuit.node list ->
+  (Circuit.node * waveform) list
+(** [simulate circuit ~caps ~drives ~tstop watch] integrates from the DC
+    solution at t = 0 (with every [drives] stimulus evaluated at 0) to
+    [tstop], returning sampled waveforms for the watched nodes. Free nodes
+    must appear in [caps]; driven nodes follow their stimulus. [dv_max]
+    bounds the per-step voltage change (default 2 mV). *)
+
+val crossing_time : waveform -> float -> [ `Rising | `Falling ] -> float option
+(** First time the waveform crosses the given level in the given direction
+    (linear interpolation between samples). *)
+
+val inverter_delay : Tech.t -> float
+(** Propagation delay (input 50 % to output 50 %, falling output) of an
+    inverter built in the given technology corner driving its intrinsic
+    drain capacitance plus a fanout-3 inverter load. *)

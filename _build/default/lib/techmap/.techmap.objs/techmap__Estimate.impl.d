@@ -1,0 +1,1 @@
+lib/techmap/estimate.ml: Array Cell Format Hashtbl Logic Mapped Power Spice

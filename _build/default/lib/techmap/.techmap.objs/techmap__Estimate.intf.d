@@ -1,0 +1,1 @@
+lib/techmap/estimate.mli: Format Mapped

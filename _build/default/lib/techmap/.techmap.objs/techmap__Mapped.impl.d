@@ -1,0 +1,1 @@
+lib/techmap/mapped.ml: Array Cell Format Hashtbl Int64 List Logic Nets Option Spice

@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Aigs Array Cell Hashtbl List Logic Mapped Matchlib Printf

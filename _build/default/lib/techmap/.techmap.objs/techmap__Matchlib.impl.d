@@ -1,0 +1,1 @@
+lib/techmap/matchlib.ml: Array Cell Hashtbl List Logic Option

@@ -1,0 +1,1 @@
+lib/techmap/matchlib.mli: Cell Logic

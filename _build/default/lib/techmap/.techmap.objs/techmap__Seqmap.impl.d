@@ -1,0 +1,1 @@
+lib/techmap/seqmap.ml: Aigs Array Cell Estimate Format Hashtbl List Logic Mapped Mapper Nets Power Spice

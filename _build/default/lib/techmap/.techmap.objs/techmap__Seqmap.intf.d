@@ -1,0 +1,1 @@
+lib/techmap/seqmap.mli: Estimate Format Mapped Matchlib Nets

@@ -1,0 +1,1 @@
+lib/techmap/sta.ml: Array Cell Format List Mapped

@@ -1,0 +1,1 @@
+lib/techmap/sta.mli: Format Mapped

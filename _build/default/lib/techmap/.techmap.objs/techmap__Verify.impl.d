@@ -1,0 +1,1 @@
+lib/techmap/verify.ml: Aigs Array Cell Hashtbl Lazy List Logic Mapped Nets

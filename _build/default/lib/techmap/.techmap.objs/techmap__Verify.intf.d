@@ -1,0 +1,1 @@
+lib/techmap/verify.mli: Aigs Mapped Nets

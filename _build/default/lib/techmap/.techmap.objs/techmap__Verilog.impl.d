@@ -1,0 +1,1 @@
+lib/techmap/verilog.ml: Array Buffer Cell Char Format List Logic Mapped Printf String

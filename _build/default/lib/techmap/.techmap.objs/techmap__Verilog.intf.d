@@ -1,0 +1,1 @@
+lib/techmap/verilog.mli: Cell Mapped

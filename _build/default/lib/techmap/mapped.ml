@@ -1,0 +1,156 @@
+module G = Cell.Genlib
+module B = Logic.Bitvec
+module T = Logic.Truthtable
+
+type cell = { gate : G.gate; inputs : int array; output : int }
+
+type t = {
+  lib : G.t;
+  num_nets : int;
+  pi_nets : (string * int) array;
+  po_nets : (string * int) array;
+  const_nets : (int * bool) array;
+  cells : cell array;
+}
+
+let num_gates t = Array.length t.cells
+let area t = Array.fold_left (fun acc c -> acc +. c.gate.G.area) 0.0 t.cells
+
+let arrival_times t =
+  let arr = Array.make t.num_nets 0.0 in
+  Array.iter
+    (fun c ->
+      let worst = Array.fold_left (fun acc net -> max acc arr.(net)) 0.0 c.inputs in
+      arr.(c.output) <- worst +. c.gate.G.delay)
+    t.cells;
+  arr
+
+let delay t =
+  let arr = arrival_times t in
+  Array.fold_left (fun acc (_, net) -> max acc arr.(net)) 0.0 t.po_nets
+
+let net_loads ?(wire_cap_per_fanout = 0.0) t =
+  let loads = Array.make t.num_nets 0.0 in
+  Array.iter
+    (fun c ->
+      loads.(c.output) <- loads.(c.output) +. c.gate.G.output_drain_cap;
+      Array.iteri
+        (fun pin net ->
+          loads.(net) <- loads.(net) +. c.gate.G.input_caps.(pin) +. wire_cap_per_fanout)
+        c.inputs)
+    t.cells;
+  Array.iter
+    (fun (_, net) ->
+      loads.(net) <- loads.(net) +. Spice.Tech.inverter_input_cap t.lib.G.tech)
+    t.po_nets;
+  loads
+
+let gate_histogram t =
+  let counts = Hashtbl.create 32 in
+  Array.iter
+    (fun c ->
+      let name = c.gate.G.cell.Cell.Cells.name in
+      Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name)))
+    t.cells;
+  Hashtbl.fold (fun name count acc -> (name, count) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let simulate t stimulus =
+  assert (Array.length stimulus = Array.length t.pi_nets);
+  let npat = if Array.length stimulus = 0 then 0 else B.length stimulus.(0) in
+  let values = Array.make t.num_nets (B.create npat) in
+  Array.iteri (fun i (_, net) -> values.(net) <- stimulus.(i)) t.pi_nets;
+  Array.iter
+    (fun (net, b) -> if b then values.(net) <- B.lognot (B.create npat))
+    t.const_nets;
+  (* Covers are cached per gate name; evaluation runs as raw word loops to
+     keep 640 K-pattern simulation cheap. *)
+  let cover_cache = Hashtbl.create 32 in
+  let cover_of gate =
+    let name = gate.G.cell.Cell.Cells.name in
+    match Hashtbl.find_opt cover_cache name with
+    | Some cubes -> cubes
+    | None ->
+        let cubes = Array.of_list (T.isop (Cell.Cells.tt gate.G.cell)) in
+        Hashtbl.replace cover_cache name cubes;
+        cubes
+  in
+  Array.iter
+    (fun c ->
+      let cubes = cover_of c.gate in
+      let out = B.create npat in
+      let out_words = B.words out in
+      let nwords = Array.length out_words in
+      let pins = Array.length c.inputs in
+      let pin_words = Array.map (fun net -> B.words values.(net)) c.inputs in
+      for ci = 0 to Array.length cubes - 1 do
+        let cube = cubes.(ci) in
+        for w = 0 to nwords - 1 do
+          let prod = ref (-1L) in
+          for pin = 0 to pins - 1 do
+            if (cube.T.pos lsr pin) land 1 = 1 then
+              prod := Int64.logand !prod pin_words.(pin).(w)
+            else if (cube.T.neg lsr pin) land 1 = 1 then
+              prod := Int64.logand !prod (Int64.lognot pin_words.(pin).(w))
+          done;
+          out_words.(w) <- Int64.logor out_words.(w) !prod
+        done
+      done;
+      (* Mask the tail beyond npat (inputs are clean, but all-neg cubes and
+         the constant -1 product can set tail bits). *)
+      (if npat land 63 <> 0 && nwords > 0 then
+         let mask = Int64.sub (Int64.shift_left 1L (npat land 63)) 1L in
+         out_words.(nwords - 1) <- Int64.logand out_words.(nwords - 1) mask);
+      values.(c.output) <- out)
+    t.cells;
+  values
+
+let check t reference ~patterns ~seed =
+  let module N = Nets.Netlist in
+  let module Sim = Nets.Sim in
+  let rng = Logic.Prng.create seed in
+  let stimulus =
+    Array.init
+      (Array.length t.pi_nets)
+      (fun _ ->
+        let v = B.create patterns in
+        B.fill_random rng v;
+        v)
+  in
+  (* Align reference inputs by name. *)
+  let ref_inputs = N.inputs reference in
+  let by_name =
+    Array.to_list (Array.map (fun id -> (N.input_name reference id, id)) ref_inputs)
+  in
+  let ref_stimulus =
+    Array.map
+      (fun id ->
+        let name = N.input_name reference id in
+        match Array.to_list t.pi_nets |> List.assoc_opt name with
+        | Some _ ->
+            let idx =
+              let rec find i = if fst t.pi_nets.(i) = name then i else find (i + 1) in
+              find 0
+            in
+            stimulus.(idx)
+        | None -> failwith ("Mapped.check: unknown PI " ^ name))
+      ref_inputs
+  in
+  ignore by_name;
+  let ref_result = Sim.run reference ref_stimulus in
+  let ref_outs = Sim.output_values reference ref_result in
+  let values = simulate t stimulus in
+  Array.for_all
+    (fun (name, net) ->
+      let ref_v =
+        let rec find i =
+          if fst ref_outs.(i) = name then snd ref_outs.(i) else find (i + 1)
+        in
+        find 0
+      in
+      B.equal values.(net) ref_v)
+    t.po_nets
+
+let pp_stats ppf t =
+  Format.fprintf ppf "mapped[%s]: %d gates, area %g, delay %.1f ps" t.lib.G.name
+    (num_gates t) (area t) (delay t *. 1e12)

@@ -1,0 +1,50 @@
+(** Technology-mapped netlists: instances of library gates wired by nets.
+
+    Net 0.. are created in topological order: primary-input nets first, then
+    one net per cell output. This is the form on which area, delay and the
+    paper's Table 1 power figures are computed. *)
+
+type cell = {
+  gate : Cell.Genlib.gate;
+  inputs : int array;  (** driving nets, one per gate pin *)
+  output : int;
+}
+
+type t = {
+  lib : Cell.Genlib.t;
+  num_nets : int;
+  pi_nets : (string * int) array;
+  po_nets : (string * int) array;
+  const_nets : (int * bool) array;
+      (** rail-tied nets (constant primary outputs after optimization) *)
+  cells : cell array;  (** topological order *)
+}
+
+val num_gates : t -> int
+val area : t -> float
+
+val arrival_times : t -> float array
+(** Per-net arrival time (PIs at 0). *)
+
+val delay : t -> float
+(** Critical-path delay to the latest primary output, seconds. *)
+
+val net_loads : ?wire_cap_per_fanout:float -> t -> float array
+(** Per-net capacitive load: the driver's intrinsic output capacitance plus
+    the input capacitance of every driven pin; primary outputs additionally
+    drive one inverter-equivalent load. [wire_cap_per_fanout] adds a lumped
+    wire capacitance per driven pin (0 by default — the paper ignores
+    interconnect; ablation A6 measures the sensitivity of its conclusions
+    to that simplification). *)
+
+val gate_histogram : t -> (string * int) list
+(** Cell usage count by gate name, descending. *)
+
+val simulate : t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
+(** Per-net values given one stimulus vector per primary input. *)
+
+val check : t -> Nets.Netlist.t -> patterns:int -> seed:int64 -> bool
+(** Random co-simulation of the mapped netlist against a reference netlist
+    with matching PI/PO names: true when all sampled outputs agree. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Cut-based technology mapping (the "map" half of our ABC substitute).
+
+    Covers a subject AIG with library gates: K-feasible cuts are enumerated
+    per node, each cut function is Boolean-matched against the library
+    ({!Matchlib}), and dynamic programming selects per node and output
+    polarity the match with the best objective. Phase conversions become
+    explicit inverter cells. *)
+
+type objective = Delay | Area
+(** [Delay]: minimize arrival time, tie-break on area flow — the paper's
+    flow maps for delay. [Area]: minimize area flow subject to no arrival
+    constraint (used by the area-recovery ablation). *)
+
+val map :
+  ?objective:objective ->
+  ?k:int ->
+  ?max_cuts:int ->
+  Matchlib.t ->
+  Aigs.Aig.t ->
+  Mapped.t
+(** Map the AIG. Raises [Failure] if some cut function has no match and no
+    decomposition applies (cannot happen when the library contains INV and
+    NAND2/NOR2, since every AND node has its 2-leaf cut). *)

@@ -1,0 +1,105 @@
+module G = Cell.Genlib
+module T = Logic.Truthtable
+
+type candidate = { gate : G.gate; perm : int array; inv_mask : int }
+
+type t = {
+  lib : G.t;
+  tables : (int64, candidate list) Hashtbl.t array; (* indexed by variable count *)
+  inv : G.gate;
+  mutable entries : int;
+}
+
+let max_pins = 6
+
+let library t = t.lib
+let inverter t = t.inv
+let size t = t.entries
+
+(* All permutations of [0..k-1]. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | items ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) items in
+          List.map (fun p -> x :: p) (permutations rest))
+        items
+
+let candidate_area c = c.gate.G.area
+let candidate_delay c = c.gate.G.delay
+
+let insert t k key cand =
+  let table = t.tables.(k) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
+  (* Skip exact duplicates of the same gate with same binding cost. *)
+  let dominated =
+    List.exists
+      (fun c ->
+        candidate_area c <= candidate_area cand && candidate_delay c <= candidate_delay cand)
+      existing
+  in
+  if not dominated then begin
+    let merged =
+      List.sort (fun a b -> compare (candidate_area a) (candidate_area b)) (cand :: existing)
+    in
+    (* Keep the three best by area plus the fastest. *)
+    let by_area =
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      take 3 merged
+    in
+    let fastest =
+      List.fold_left
+        (fun acc c -> if candidate_delay c < candidate_delay acc then c else acc)
+        (List.hd merged) merged
+    in
+    let kept = if List.memq fastest by_area then by_area else fastest :: by_area in
+    t.entries <- t.entries + (List.length kept - List.length existing);
+    Hashtbl.replace table key kept
+  end
+
+let build lib =
+  let t =
+    {
+      lib;
+      tables = Array.init (max_pins + 1) (fun _ -> Hashtbl.create 4096);
+      inv = G.find_gate lib "INV";
+      entries = 0;
+    }
+  in
+  List.iter
+    (fun (gate : G.gate) ->
+      let k = gate.G.cell.Cell.Cells.pins in
+      if k >= 1 && k <= max_pins then begin
+        let base = Cell.Cells.tt gate.G.cell in
+        let perms = permutations (List.init k (fun i -> i)) in
+        List.iter
+          (fun perm_list ->
+            let perm = Array.of_list perm_list in
+            for inv_mask = 0 to (1 lsl k) - 1 do
+              (* Function computed when pin j is driven by
+                 leaf perm.(j) xor (inv_mask bit j). *)
+              let flipped = ref base in
+              for j = 0 to k - 1 do
+                if (inv_mask lsr j) land 1 = 1 then flipped := T.flip_input !flipped j
+              done;
+              let variant = T.permute !flipped perm in
+              (* Only index functions with full support: cut functions are
+                 shrunk to their support before lookup. *)
+              if List.length (T.support variant) = k then
+                insert t k (T.to_int64 variant) { gate; perm; inv_mask }
+            done)
+          perms
+      end)
+    lib.G.gates;
+  t
+
+let lookup t tt =
+  let k = T.nvars tt in
+  if k > max_pins then []
+  else
+    Option.value ~default:[] (Hashtbl.find_opt t.tables.(k) (T.to_int64 tt))

@@ -1,0 +1,166 @@
+module B = Logic.Bitvec
+module G = Cell.Genlib
+
+type report = {
+  gates : int;
+  registers : int;
+  comb_area : float;
+  reg_area : float;
+  min_period : float;
+  comb_power : Estimate.report;
+  clock_power : float;
+  reg_internal_power : float;
+  reg_leak_power : float;
+  total : float;
+  epc : float;
+}
+
+let map_seq ml (seq : Nets.Seq.t) =
+  let comb = Nets.Seq.comb seq in
+  let regs = Nets.Seq.registers seq in
+  (* Expose every register's D input as an extra primary output so covering
+     preserves the register boundary. Guard against repeated calls. *)
+  let existing =
+    Array.to_list (Nets.Netlist.outputs comb) |> List.map fst
+  in
+  List.iter
+    (fun (name, _, d) ->
+      let po = name ^ ".d" in
+      if not (List.mem po existing) then Nets.Netlist.add_output comb po d)
+    regs;
+  let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist comb) in
+  let mapped = Mapper.map ml aig in
+  let find_pi name =
+    match Array.find_opt (fun (n, _) -> n = name) mapped.Mapped.pi_nets with
+    | Some (_, net) -> net
+    | None -> failwith ("Seqmap: missing Q input " ^ name)
+  in
+  let find_po name =
+    match Array.find_opt (fun (n, _) -> n = name) mapped.Mapped.po_nets with
+    | Some (_, net) -> net
+    | None -> failwith ("Seqmap: missing D output " ^ name)
+  in
+  let reg_nets =
+    List.map
+      (fun (name, _, _) -> (name, find_pi (name ^ ".q"), find_po (name ^ ".d")))
+      regs
+  in
+  (mapped, reg_nets)
+
+let estimate ?(cycles = 10_000) ?(seed = 21L) ml (seq : Nets.Seq.t) =
+  let mapped, reg_nets = map_seq ml seq in
+  let lib = mapped.Mapped.lib in
+  let tech = lib.G.tech in
+  let vdd = tech.Spice.Tech.vdd in
+  let f = Spice.Tech.frequency in
+  let dff = Cell.Register.for_library lib in
+  let streams = 64 in
+  let rng = Logic.Prng.create seed in
+  (* Cycle-accurate simulation of the mapped netlist. *)
+  let nregs = List.length reg_nets in
+  let q_nets = Array.of_list (List.map (fun (_, q, _) -> q) reg_nets) in
+  let d_nets = Array.of_list (List.map (fun (_, _, d) -> d) reg_nets) in
+  let is_q = Hashtbl.create 16 in
+  Array.iteri (fun i q -> Hashtbl.replace is_q q i) q_nets;
+  let state = Array.init nregs (fun _ -> B.create streams) in
+  let num_nets = mapped.Mapped.num_nets in
+  let toggles = Array.make num_nets 0 in
+  let ones = Array.make num_nets 0 in
+  let state_toggles = ref 0 in
+  let prev = Array.make num_nets (B.create streams) in
+  for cycle = 0 to cycles - 1 do
+    let stimulus =
+      Array.map
+        (fun (_, net) ->
+          match Hashtbl.find_opt is_q net with
+          | Some ri -> state.(ri)
+          | None ->
+              let v = B.create streams in
+              B.fill_random rng v;
+              v)
+        mapped.Mapped.pi_nets
+    in
+    let values = Mapped.simulate mapped stimulus in
+    for net = 0 to num_nets - 1 do
+      ones.(net) <- ones.(net) + B.popcount values.(net);
+      if cycle > 0 then
+        toggles.(net) <- toggles.(net) + B.popcount (B.logxor values.(net) prev.(net));
+      prev.(net) <- values.(net)
+    done;
+    (* Clock edge. *)
+    for ri = 0 to nregs - 1 do
+      let next = values.(d_nets.(ri)) in
+      state_toggles := !state_toggles + B.popcount (B.logxor next state.(ri));
+      state.(ri) <- next
+    done
+  done;
+  let samples_t = float_of_int (max 1 ((cycles - 1) * streams)) in
+  let samples_p = float_of_int (cycles * streams) in
+  let toggle net = float_of_int toggles.(net) /. samples_t in
+  let prob net = float_of_int ones.(net) /. samples_p in
+  (* Combinational power under the sequential stimulus. *)
+  let loads = Mapped.net_loads mapped in
+  Array.iter (fun q -> loads.(q) <- loads.(q) +. dff.Cell.Register.q_drive_cap) q_nets;
+  Array.iter (fun d -> loads.(d) <- loads.(d) +. dff.Cell.Register.d_cap) d_nets;
+  let dynamic = ref 0.0 in
+  for net = 0 to num_nets - 1 do
+    dynamic := !dynamic +. (toggle net *. loads.(net) *. f *. vdd *. vdd)
+  done;
+  let static, gate_leak = Estimate.static_components mapped ~probs:prob in
+  let short_circuit = Spice.Tech.short_circuit_fraction *. !dynamic in
+  let comb_total = !dynamic +. short_circuit +. static +. gate_leak in
+  let delay = Mapped.delay mapped in
+  let comb_power =
+    {
+      Estimate.gates = Mapped.num_gates mapped;
+      area = Mapped.area mapped;
+      delay;
+      dynamic = !dynamic;
+      short_circuit;
+      static;
+      gate_leak;
+      total = comb_total;
+      edp = Power.Powermodel.edp ~total_power:comb_total ~delay ();
+    }
+  in
+  (* Register contributions. *)
+  let nregs_f = float_of_int nregs in
+  let clock_power =
+    nregs_f
+    *. (dff.Cell.Register.clock_cap +. dff.Cell.Register.clock_internal_cap)
+    *. f *. vdd *. vdd
+  in
+  let state_alpha = float_of_int !state_toggles /. samples_t /. max 1.0 nregs_f in
+  let reg_internal_power =
+    nregs_f *. state_alpha *. dff.Cell.Register.internal_cap *. f *. vdd *. vdd
+  in
+  let reg_leak_power = nregs_f *. dff.Cell.Register.leakage *. vdd in
+  let total = comb_total +. clock_power +. reg_internal_power +. reg_leak_power in
+  let reg_delay_margin = 4.0 *. tech.Spice.Tech.tau in
+  {
+    gates = Mapped.num_gates mapped;
+    registers = nregs;
+    comb_area = Mapped.area mapped;
+    reg_area = nregs_f *. float_of_int dff.Cell.Register.transistors;
+    min_period = delay +. reg_delay_margin;
+    comb_power;
+    clock_power;
+    reg_internal_power;
+    reg_leak_power;
+    total;
+    epc = total /. f;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "seq: %d gates + %d regs, area %g + %g T, min period %.1f ps (%.2f GHz max)@."
+    r.gates r.registers r.comb_area r.reg_area (r.min_period *. 1e12)
+    (1.0 /. r.min_period /. 1e9);
+  Format.fprintf ppf
+    "  comb %.3g uW (PD %.3g, PS %.3g) + clock %.3g uW + reg switch %.3g uW + reg leak %.3g uW = %.3g uW@."
+    (r.comb_power.Estimate.total *. 1e6)
+    (r.comb_power.Estimate.dynamic *. 1e6)
+    (r.comb_power.Estimate.static *. 1e6)
+    (r.clock_power *. 1e6) (r.reg_internal_power *. 1e6) (r.reg_leak_power *. 1e6)
+    (r.total *. 1e6);
+  Format.fprintf ppf "  energy per cycle %.3g fJ@." (r.epc *. 1e15)

@@ -1,0 +1,126 @@
+module G = Cell.Genlib
+
+type path_element = {
+  cell_index : int;
+  gate_name : string;
+  through_pin : int;
+  arrival : float;
+}
+
+type report = {
+  period : float;
+  critical_delay : float;
+  worst_slack : float;
+  violating_endpoints : (string * float) list;
+  critical_path : path_element list;
+  slack_histogram : (float * int) list;
+}
+
+let analyze ?period (m : Mapped.t) =
+  let arrivals = Mapped.arrival_times m in
+  (* Driver cell per net, and the worst-arrival fanin pin per cell. *)
+  let driver = Array.make m.Mapped.num_nets (-1) in
+  Array.iteri (fun i (c : Mapped.cell) -> driver.(c.Mapped.output) <- i) m.Mapped.cells;
+  let critical_delay =
+    Array.fold_left (fun acc (_, net) -> max acc arrivals.(net)) 0.0 m.Mapped.po_nets
+  in
+  let period = match period with Some p -> p | None -> critical_delay in
+  (* Required times: propagate backwards from POs. *)
+  let required = Array.make m.Mapped.num_nets infinity in
+  Array.iter (fun (_, net) -> required.(net) <- min required.(net) period) m.Mapped.po_nets;
+  for i = Array.length m.Mapped.cells - 1 downto 0 do
+    let c = m.Mapped.cells.(i) in
+    let req_out = required.(c.Mapped.output) in
+    Array.iter
+      (fun net -> required.(net) <- min required.(net) (req_out -. c.Mapped.gate.G.delay))
+      c.Mapped.inputs
+  done;
+  let slack_of net = required.(net) -. arrivals.(net) in
+  let endpoints =
+    Array.to_list (Array.map (fun (name, net) -> (name, slack_of net)) m.Mapped.po_nets)
+  in
+  let worst_slack =
+    List.fold_left (fun acc (_, s) -> min acc s) infinity endpoints
+  in
+  let violating = List.filter (fun (_, s) -> s < -1e-15) endpoints in
+  (* Critical path: walk back from the worst PO through worst-arrival pins. *)
+  let worst_po =
+    List.fold_left
+      (fun acc (name, net) ->
+        match acc with
+        | Some (_, best) when arrivals.(best) >= arrivals.(net) -> acc
+        | Some _ | None -> Some (name, net))
+      None
+      (Array.to_list m.Mapped.po_nets |> List.map (fun (n, net) -> (n, net)))
+  in
+  let path = ref [] in
+  (match worst_po with
+  | None -> ()
+  | Some (_, net0) ->
+      let current = ref net0 in
+      let continue = ref true in
+      while !continue do
+        let ci = driver.(!current) in
+        if ci < 0 then continue := false
+        else begin
+          let c = m.Mapped.cells.(ci) in
+          let worst_pin = ref (-1) and worst_arr = ref neg_infinity in
+          Array.iteri
+            (fun pin net ->
+              if arrivals.(net) > !worst_arr then begin
+                worst_arr := arrivals.(net);
+                worst_pin := pin
+              end)
+            c.Mapped.inputs;
+          path :=
+            {
+              cell_index = ci;
+              gate_name = c.Mapped.gate.G.cell.Cell.Cells.name;
+              through_pin = !worst_pin;
+              arrival = arrivals.(c.Mapped.output);
+            }
+            :: !path;
+          if !worst_pin >= 0 then current := c.Mapped.inputs.(!worst_pin)
+          else continue := false
+        end
+      done);
+  (* Slack histogram over endpoints. *)
+  let slacks = List.map snd endpoints in
+  let histogram =
+    match slacks with
+    | [] -> []
+    | first :: _ ->
+        let lo = List.fold_left min first slacks in
+        let hi = List.fold_left max first slacks in
+        let bins = 10 in
+        let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+        List.init bins (fun b ->
+            let upper = lo +. (width *. float_of_int (b + 1)) in
+            let lower = lo +. (width *. float_of_int b) in
+            let count =
+              List.length
+                (List.filter
+                   (fun s -> s >= lower -. 1e-18 && (s < upper || b = bins - 1))
+                   slacks)
+            in
+            (upper, count))
+  in
+  {
+    period;
+    critical_delay;
+    worst_slack;
+    violating_endpoints = violating;
+    critical_path = !path;
+    slack_histogram = histogram;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "STA @ period %.1f ps: critical %.1f ps, worst slack %.2f ps, %d violations@."
+    (r.period *. 1e12) (r.critical_delay *. 1e12) (r.worst_slack *. 1e12)
+    (List.length r.violating_endpoints);
+  Format.fprintf ppf "critical path (%d stages):@." (List.length r.critical_path);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-10s via pin %d  arrival %.1f ps@." e.gate_name e.through_pin
+        (e.arrival *. 1e12))
+    r.critical_path

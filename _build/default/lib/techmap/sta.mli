@@ -1,0 +1,27 @@
+(** Static timing analysis on mapped netlists.
+
+    Computes arrival times, required times and slacks under a target clock
+    period, and extracts the critical path as a list of cell instances —
+    the per-circuit "Delay" column of Table 1 with full reporting depth. *)
+
+type path_element = {
+  cell_index : int;  (** index into [Mapped.cells] *)
+  gate_name : string;
+  through_pin : int;  (** the input pin on the critical path (-1 at PIs) *)
+  arrival : float;
+}
+
+type report = {
+  period : float;  (** analysis clock period, s *)
+  critical_delay : float;
+  worst_slack : float;
+  violating_endpoints : (string * float) list;  (** PO name, slack *)
+  critical_path : path_element list;  (** from inputs to the worst PO *)
+  slack_histogram : (float * int) list;
+      (** (upper bound of bin, endpoint count), 10 bins over observed range *)
+}
+
+val analyze : ?period:float -> Mapped.t -> report
+(** Default period: the critical delay itself (zero worst slack). *)
+
+val pp_report : Format.formatter -> report -> unit

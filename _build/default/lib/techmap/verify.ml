@@ -1,0 +1,331 @@
+module B = Logic.Bdd
+module N = Nets.Netlist
+
+exception Too_large
+
+let guard m max_nodes = if B.node_count m > max_nodes then raise Too_large
+
+(* Variable index per input name, shared across both sides. *)
+let var_assignment names =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun i name -> Hashtbl.replace tbl name i) names;
+  tbl
+
+let netlist_bdds m max_nodes vars nl =
+  let values = Array.make (N.size nl) (B.zero m) in
+  Array.iter
+    (fun id ->
+      let name = N.input_name nl id in
+      match Hashtbl.find_opt vars name with
+      | Some i -> values.(id) <- B.var m i
+      | None -> failwith ("Verify: unassigned input " ^ name))
+    (N.inputs nl);
+  N.iter_nodes nl (fun id op fanins ->
+      guard m max_nodes;
+      let arg i = values.(fanins.(i)) in
+      let fold f init =
+        Array.fold_left (fun acc fi -> f acc values.(fi)) init fanins
+      in
+      match op with
+      | N.Input -> ()
+      | N.Constant b -> values.(id) <- (if b then B.one m else B.zero m)
+      | N.Buf -> values.(id) <- arg 0
+      | N.Not -> values.(id) <- B.not_ m (arg 0)
+      | N.And -> values.(id) <- fold (B.and_ m) (B.one m)
+      | N.Or -> values.(id) <- fold (B.or_ m) (B.zero m)
+      | N.Xor -> values.(id) <- fold (B.xor m) (B.zero m)
+      | N.Nand -> values.(id) <- B.not_ m (fold (B.and_ m) (B.one m))
+      | N.Nor -> values.(id) <- B.not_ m (fold (B.or_ m) (B.zero m))
+      | N.Xnor -> values.(id) <- B.not_ m (fold (B.xor m) (B.zero m))
+      | N.Mux -> values.(id) <- B.ite m (arg 0) (arg 2) (arg 1)
+      | N.Maj ->
+          values.(id) <-
+            B.or_ m
+              (B.and_ m (arg 0) (arg 1))
+              (B.or_ m (B.and_ m (arg 0) (arg 2)) (B.and_ m (arg 1) (arg 2)))
+      | N.Lut tt ->
+          let k = Array.length fanins in
+          let acc = ref (B.zero m) in
+          for minterm = 0 to (1 lsl k) - 1 do
+            if Logic.Truthtable.eval tt minterm then begin
+              let cube = ref (B.one m) in
+              for i = 0 to k - 1 do
+                let lit =
+                  if (minterm lsr i) land 1 = 1 then arg i else B.not_ m (arg i)
+                in
+                cube := B.and_ m !cube lit
+              done;
+              acc := B.or_ m !acc !cube
+            end
+          done;
+          values.(id) <- !acc);
+  Array.map (fun (name, id) -> (name, values.(id))) (N.outputs nl)
+
+let mapped_bdds m max_nodes vars (mp : Mapped.t) =
+  let values = Array.make mp.Mapped.num_nets (B.zero m) in
+  Array.iter
+    (fun (name, net) ->
+      match Hashtbl.find_opt vars name with
+      | Some i -> values.(net) <- B.var m i
+      | None -> failwith ("Verify: unassigned input " ^ name))
+    mp.Mapped.pi_nets;
+  Array.iter
+    (fun (net, b) -> values.(net) <- (if b then B.one m else B.zero m))
+    mp.Mapped.const_nets;
+  Array.iter
+    (fun (c : Mapped.cell) ->
+      guard m max_nodes;
+      let tt = Cell.Cells.tt c.Mapped.gate.Cell.Genlib.cell in
+      let k = Array.length c.Mapped.inputs in
+      let acc = ref (B.zero m) in
+      List.iter
+        (fun (cube : Logic.Truthtable.cube) ->
+          let prod = ref (B.one m) in
+          for i = 0 to k - 1 do
+            if (cube.Logic.Truthtable.pos lsr i) land 1 = 1 then
+              prod := B.and_ m !prod values.(c.Mapped.inputs.(i))
+            else if (cube.Logic.Truthtable.neg lsr i) land 1 = 1 then
+              prod := B.and_ m !prod (B.not_ m values.(c.Mapped.inputs.(i)))
+          done;
+          acc := B.or_ m !acc !prod)
+        (Logic.Truthtable.isop tt);
+      values.(c.Mapped.output) <- !acc)
+    mp.Mapped.cells;
+  Array.map (fun (name, net) -> (name, values.(net))) mp.Mapped.po_nets
+
+let aig_bdds m max_nodes vars aig =
+  let module A = Aigs.Aig in
+  let n = A.num_nodes aig in
+  let values = Array.make n (B.zero m) in
+  Array.iter
+    (fun lit ->
+      let node = A.node_of_lit lit in
+      let name = A.input_name aig node in
+      match Hashtbl.find_opt vars name with
+      | Some i -> values.(node) <- B.var m i
+      | None -> failwith ("Verify: unassigned input " ^ name))
+    (A.input_lits aig);
+  let lit_bdd lit =
+    let v = values.(A.node_of_lit lit) in
+    if A.is_complemented lit then B.not_ m v else v
+  in
+  for node = A.num_inputs aig + 1 to n - 1 do
+    guard m max_nodes;
+    values.(node) <- B.and_ m (lit_bdd (A.fanin0 aig node)) (lit_bdd (A.fanin1 aig node))
+  done;
+  Array.map (fun (name, lit) -> (name, lit_bdd lit)) (A.outputs aig)
+
+let compare_outputs ref_outs got_outs =
+  Array.length ref_outs = Array.length got_outs
+  && Array.for_all
+       (fun (name, f) ->
+         match Array.find_opt (fun (n, _) -> n = name) got_outs with
+         | Some (_, g) -> B.equal f g
+         | None -> failwith ("Verify: missing output " ^ name))
+       ref_outs
+
+let reference_vars nl =
+  var_assignment
+    (Array.to_list (Array.map (fun id -> N.input_name nl id) (N.inputs nl)))
+
+let equiv_netlist_mapped ?(max_nodes = 2_000_000) nl mp =
+  let m = B.manager () in
+  let vars = reference_vars nl in
+  compare_outputs (netlist_bdds m max_nodes vars nl) (mapped_bdds m max_nodes vars mp)
+
+let equiv_netlist_aig ?(max_nodes = 2_000_000) nl aig =
+  let m = B.manager () in
+  let vars = reference_vars nl in
+  compare_outputs (netlist_bdds m max_nodes vars nl) (aig_bdds m max_nodes vars aig)
+
+let equiv_netlists ?(max_nodes = 2_000_000) a b =
+  let m = B.manager () in
+  let vars = reference_vars a in
+  compare_outputs (netlist_bdds m max_nodes vars a) (netlist_bdds m max_nodes vars b)
+
+(* ------------------------------------------------------------------ *)
+(* SAT-based checking                                                  *)
+
+module Sat = Logic.Sat
+
+type sat_verdict = Equivalent | Not_equivalent | Inconclusive
+
+(* Tseitin encoding helpers: force [f] to equal the function of [args]
+   given by the truth table, one implication clause per minterm (cells have
+   at most 6 pins, so at most 64 clauses each). *)
+let encode_tt solver tt args f =
+  let k = Array.length args in
+  for minterm = 0 to (1 lsl k) - 1 do
+    let antecedent =
+      List.init k (fun i ->
+          if (minterm lsr i) land 1 = 1 then -args.(i) else args.(i))
+    in
+    let consequent = if Logic.Truthtable.eval tt minterm then f else -f in
+    Sat.add_clause solver (consequent :: antecedent)
+  done
+
+let encode_and2 solver a b f =
+  Sat.add_clause solver [ -f; a ];
+  Sat.add_clause solver [ -f; b ];
+  Sat.add_clause solver [ f; -a; -b ]
+
+let encode_netlist solver vars nl =
+  let module N = Nets.Netlist in
+  let values = Array.make (N.size nl) 0 in
+  Array.iter
+    (fun id ->
+      match Hashtbl.find_opt vars (N.input_name nl id) with
+      | Some v -> values.(id) <- v
+      | None -> failwith "Verify.sat: unassigned input")
+    (N.inputs nl);
+  N.iter_nodes nl (fun id op fanins ->
+      match op with
+      | N.Input -> ()
+      | N.Buf -> values.(id) <- values.(fanins.(0))
+      | N.Not -> values.(id) <- -values.(fanins.(0))
+      | N.Constant b ->
+          let f = Sat.new_var solver in
+          Sat.add_clause solver [ (if b then f else -f) ];
+          values.(id) <- f
+      | N.And | N.Or | N.Xor | N.Nand | N.Nor | N.Xnor | N.Mux | N.Maj | N.Lut _ ->
+          let f = Sat.new_var solver in
+          values.(id) <- f;
+          let args = Array.map (fun fi -> values.(fi)) fanins in
+          (match op with
+          | N.And ->
+              Array.iter (fun a -> Sat.add_clause solver [ -f; a ]) args;
+              Sat.add_clause solver (f :: Array.to_list (Array.map (fun a -> -a) args))
+          | N.Nand ->
+              Array.iter (fun a -> Sat.add_clause solver [ f; a ]) args;
+              Sat.add_clause solver (-f :: Array.to_list (Array.map (fun a -> -a) args))
+          | N.Or ->
+              Array.iter (fun a -> Sat.add_clause solver [ f; -a ]) args;
+              Sat.add_clause solver (-f :: Array.to_list args)
+          | N.Nor ->
+              Array.iter (fun a -> Sat.add_clause solver [ -f; -a ]) args;
+              Sat.add_clause solver (f :: Array.to_list args)
+          | N.Xor | N.Xnor ->
+              (* chain pairwise *)
+              let rec chain acc = function
+                | [] -> acc
+                | x :: rest ->
+                    let z = Sat.new_var solver in
+                    (* z = acc xor x *)
+                    Sat.add_clause solver [ -z; acc; x ];
+                    Sat.add_clause solver [ -z; -acc; -x ];
+                    Sat.add_clause solver [ z; -acc; x ];
+                    Sat.add_clause solver [ z; acc; -x ];
+                    chain z rest
+              in
+              (match Array.to_list args with
+              | [] -> Sat.add_clause solver [ -f ]
+              | first :: rest ->
+                  let x = chain first rest in
+                  let target = if op = N.Xor then x else -x in
+                  Sat.add_clause solver [ -f; target ];
+                  Sat.add_clause solver [ f; -target ])
+          | N.Mux ->
+              let s = args.(0) and a = args.(1) and b = args.(2) in
+              Sat.add_clause solver [ -f; -s; b ];
+              Sat.add_clause solver [ f; -s; -b ];
+              Sat.add_clause solver [ -f; s; a ];
+              Sat.add_clause solver [ f; s; -a ]
+          | N.Maj ->
+              let a = args.(0) and b = args.(1) and c = args.(2) in
+              Sat.add_clause solver [ -f; a; b ];
+              Sat.add_clause solver [ -f; a; c ];
+              Sat.add_clause solver [ -f; b; c ];
+              Sat.add_clause solver [ f; -a; -b ];
+              Sat.add_clause solver [ f; -a; -c ];
+              Sat.add_clause solver [ f; -b; -c ]
+          | N.Lut tt -> encode_tt solver tt args f
+          | N.Input | N.Buf | N.Not | N.Constant _ -> assert false));
+  Array.map (fun (name, id) -> (name, values.(id))) (N.outputs nl)
+
+let encode_mapped solver vars (mp : Mapped.t) =
+  let values = Array.make mp.Mapped.num_nets 0 in
+  Array.iter
+    (fun (name, net) ->
+      match Hashtbl.find_opt vars name with
+      | Some v -> values.(net) <- v
+      | None -> failwith "Verify.sat: unassigned input")
+    mp.Mapped.pi_nets;
+  Array.iter
+    (fun (net, b) ->
+      let f = Sat.new_var solver in
+      Sat.add_clause solver [ (if b then f else -f) ];
+      values.(net) <- f)
+    mp.Mapped.const_nets;
+  Array.iter
+    (fun (c : Mapped.cell) ->
+      let f = Sat.new_var solver in
+      let args = Array.map (fun net -> values.(net)) c.Mapped.inputs in
+      encode_tt solver (Cell.Cells.tt c.Mapped.gate.Cell.Genlib.cell) args f;
+      values.(c.Mapped.output) <- f)
+    mp.Mapped.cells;
+  Array.map (fun (name, net) -> (name, values.(net))) mp.Mapped.po_nets
+
+let encode_aig solver vars aig =
+  let module A = Aigs.Aig in
+  let values = Array.make (A.num_nodes aig) 0 in
+  Array.iter
+    (fun lit ->
+      let node = A.node_of_lit lit in
+      match Hashtbl.find_opt vars (A.input_name aig node) with
+      | Some v -> values.(node) <- v
+      | None -> failwith "Verify.sat: unassigned input")
+    (A.input_lits aig);
+  let const_var = lazy (
+    let f = Sat.new_var solver in
+    Sat.add_clause solver [ -f ];
+    f)
+  in
+  let lit_var lit =
+    let node = A.node_of_lit lit in
+    let base = if node = 0 then Lazy.force const_var else values.(node) in
+    if A.is_complemented lit then -base else base
+  in
+  for node = A.num_inputs aig + 1 to A.num_nodes aig - 1 do
+    let f = Sat.new_var solver in
+    values.(node) <- f;
+    encode_and2 solver (lit_var (A.fanin0 aig node)) (lit_var (A.fanin1 aig node)) f
+  done;
+  Array.map (fun (name, lit) -> (name, lit_var lit)) (A.outputs aig)
+
+let sat_miter ?(max_conflicts = 2_000_000) nl encode_impl =
+  let solver = Sat.create () in
+  let vars = Hashtbl.create 64 in
+  Array.iter
+    (fun id ->
+      Hashtbl.replace vars (Nets.Netlist.input_name nl id) (Sat.new_var solver))
+    (Nets.Netlist.inputs nl);
+  let ref_outs = encode_netlist solver vars nl in
+  let impl_outs = encode_impl solver vars in
+  (* diff_o = ref_o xor impl_o; assert OR of diffs. *)
+  let diffs =
+    Array.map
+      (fun (name, r) ->
+        let i =
+          match Array.find_opt (fun (n, _) -> n = name) impl_outs with
+          | Some (_, v) -> v
+          | None -> failwith ("Verify.sat: missing output " ^ name)
+        in
+        let d = Sat.new_var solver in
+        Sat.add_clause solver [ -d; r; i ];
+        Sat.add_clause solver [ -d; -r; -i ];
+        Sat.add_clause solver [ d; -r; i ];
+        Sat.add_clause solver [ d; r; -i ];
+        d)
+      ref_outs
+  in
+  Sat.add_clause solver (Array.to_list diffs);
+  match Sat.solve ~max_conflicts solver with
+  | Sat.Unsat -> Equivalent
+  | Sat.Sat _ -> Not_equivalent
+  | Sat.Unknown -> Inconclusive
+
+let sat_equiv_netlist_mapped ?max_conflicts nl mp =
+  sat_miter ?max_conflicts nl (fun solver vars -> encode_mapped solver vars mp)
+
+let sat_equiv_netlist_aig ?max_conflicts nl aig =
+  sat_miter ?max_conflicts nl (fun solver vars -> encode_aig solver vars aig)

@@ -1,0 +1,35 @@
+(** Exact combinational equivalence checking via BDDs.
+
+    Complements the random co-simulation of {!Mapped.check}: builds the BDD
+    of every primary output of the reference netlist and of the mapped (or
+    optimized) implementation under a shared variable order and compares
+    them for physical equality. Exact but subject to BDD blow-up: a node
+    budget aborts gracefully on BDD-hostile structures (e.g. large
+    multipliers). *)
+
+exception Too_large
+
+val equiv_netlist_mapped : ?max_nodes:int -> Nets.Netlist.t -> Mapped.t -> bool
+(** Inputs and outputs are matched by name. Raises [Too_large] if the BDD
+    manager exceeds [max_nodes] (default 2_000_000), [Failure] on name
+    mismatches. *)
+
+val equiv_netlist_aig : ?max_nodes:int -> Nets.Netlist.t -> Aigs.Aig.t -> bool
+
+val equiv_netlists : ?max_nodes:int -> Nets.Netlist.t -> Nets.Netlist.t -> bool
+
+(** {1 SAT-based checking}
+
+    A second exact engine, complementary to BDDs: the reference and the
+    implementation are Tseitin-encoded into one CNF miter and the CDCL
+    solver ({!Logic.Sat}) proves the outputs can never differ. Handles
+    BDD-hostile structures; effort is bounded by a conflict budget. *)
+
+type sat_verdict = Equivalent | Not_equivalent | Inconclusive
+
+val sat_equiv_netlist_mapped :
+  ?max_conflicts:int -> Nets.Netlist.t -> Mapped.t -> sat_verdict
+(** Default budget: 2_000_000 conflicts. *)
+
+val sat_equiv_netlist_aig :
+  ?max_conflicts:int -> Nets.Netlist.t -> Aigs.Aig.t -> sat_verdict

@@ -1,0 +1,88 @@
+module G = Cell.Genlib
+
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' then c else '_') name
+
+let net_name = Printf.sprintf "n%d"
+
+let write_string ?(module_name = "mapped") (m : Mapped.t) =
+  let buf = Buffer.create 4096 in
+  let pis = Array.to_list m.Mapped.pi_nets in
+  let pos = Array.to_list m.Mapped.po_nets in
+  Buffer.add_string buf (Printf.sprintf "module %s(" (sanitize module_name));
+  let ports =
+    List.map (fun (name, _) -> sanitize name) pis @ List.map (fun (name, _) -> sanitize name) pos
+  in
+  Buffer.add_string buf (String.concat ", " ports);
+  Buffer.add_string buf ");\n";
+  List.iter (fun (name, _) -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (sanitize name))) pis;
+  List.iter (fun (name, _) -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" (sanitize name))) pos;
+  (* internal wires *)
+  for net = 0 to m.Mapped.num_nets - 1 do
+    Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (net_name net))
+  done;
+  (* tie PI nets *)
+  List.iter
+    (fun (name, net) ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" (net_name net) (sanitize name)))
+    pis;
+  Array.iter
+    (fun (net, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = 1'b%d;\n" (net_name net) (if b then 1 else 0)))
+    m.Mapped.const_nets;
+  (* cell instances *)
+  Array.iteri
+    (fun k (c : Mapped.cell) ->
+      let gate = c.Mapped.gate.G.cell.Cell.Cells.name in
+      let pins =
+        List.init (Array.length c.Mapped.inputs) (fun j ->
+            Printf.sprintf ".%c(%s)" (Char.chr (Char.code 'A' + j)) (net_name c.Mapped.inputs.(j)))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s u%d (%s, .Y(%s));\n" gate k (String.concat ", " pins)
+           (net_name c.Mapped.output)))
+    m.Mapped.cells;
+  (* PO assigns *)
+  List.iter
+    (fun (name, net) ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" (sanitize name) (net_name net)))
+    pos;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let cell_library_string (lib : G.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (g : G.gate) ->
+      let pins = g.G.cell.Cell.Cells.pins in
+      let pin_names = List.init pins (fun i -> String.make 1 (Char.chr (Char.code 'A' + i))) in
+      Buffer.add_string buf
+        (Printf.sprintf "module %s(%s, Y);\n" g.G.cell.Cell.Cells.name
+           (String.concat ", " pin_names));
+      List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" p)) pin_names;
+      Buffer.add_string buf "  output Y;\n";
+      let formula =
+        Format.asprintf "%a"
+          (Logic.Expr.pp_named (fun i -> List.nth pin_names i))
+          g.G.cell.Cell.Cells.expr
+      in
+      (* genlib syntax -> verilog operators *)
+      let formula =
+        String.concat ""
+          (List.map
+             (fun c ->
+               match c with '*' -> "&" | '+' -> "|" | '!' -> "~" | c -> String.make 1 c)
+             (List.init (String.length formula) (String.get formula)))
+      in
+      Buffer.add_string buf (Printf.sprintf "  assign Y = %s;\n" formula);
+      Buffer.add_string buf "endmodule\n\n")
+    lib.G.gates;
+  Buffer.contents buf
+
+let write_file ?module_name path (m : Mapped.t) =
+  let oc = open_out path in
+  output_string oc (write_string ?module_name m);
+  output_string oc "\n";
+  output_string oc (cell_library_string m.Mapped.lib);
+  close_out oc

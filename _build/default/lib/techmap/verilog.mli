@@ -1,0 +1,16 @@
+(** Structural Verilog netlist writer for mapped circuits.
+
+    Emits one module instantiating the library cells by name (with a
+    companion behavioural cell library so the output is simulable by any
+    Verilog tool), the standard hand-off format after technology mapping. *)
+
+val write_string : ?module_name:string -> Mapped.t -> string
+(** The mapped netlist as a structural module. *)
+
+val cell_library_string : Cell.Genlib.t -> string
+(** Behavioural `module` definitions (one per library gate, with an
+    [assign] of the gate function) matching the instances emitted by
+    {!write_string}. *)
+
+val write_file : ?module_name:string -> string -> Mapped.t -> unit
+(** Writes the structural module followed by the cell library. *)

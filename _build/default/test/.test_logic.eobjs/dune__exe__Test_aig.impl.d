@@ -1,0 +1,1 @@
+test/test_aig.ml: Aigs Alcotest Array Gen Int64 List Logic Nets Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Cell List Logic Printf QCheck QCheck_alcotest String

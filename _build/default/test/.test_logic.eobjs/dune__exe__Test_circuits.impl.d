@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Format List Logic Nets Printf

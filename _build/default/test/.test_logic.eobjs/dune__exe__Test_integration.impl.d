@@ -1,0 +1,1 @@
+test/test_integration.ml: Aigs Alcotest Array Cell Circuits Gen Int64 List Logic Nets Printf QCheck QCheck_alcotest Techmap

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array List Logic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nets.ml: Alcotest Array List Logic Nets Printf

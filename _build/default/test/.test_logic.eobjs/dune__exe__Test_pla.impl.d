@@ -1,0 +1,1 @@
+test/test_pla.ml: Aigs Alcotest Array Cell Circuits List Logic Nets Pla Printf QCheck QCheck_alcotest Techmap

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Cell List Logic Power Printf QCheck QCheck_alcotest Spice

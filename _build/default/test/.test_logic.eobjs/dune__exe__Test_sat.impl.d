@@ -1,0 +1,1 @@
+test/test_sat.ml: Aigs Alcotest Array Cell Circuits Gen Int64 List Logic Nets Printf QCheck QCheck_alcotest Techmap

@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Array Cell Circuits Int32 List Logic Nets Printf String Techmap

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest List Printf Spice

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Aigs Alcotest Array Cell Circuits Gen Int64 Lazy List Logic Printf QCheck QCheck_alcotest String Techmap

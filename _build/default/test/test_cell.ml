@@ -1,0 +1,334 @@
+module N = Cell.Network
+module Cells = Cell.Cells
+module G = Cell.Genlib
+module E = Logic.Expr
+module T = Logic.Truthtable
+
+let tt = Alcotest.testable T.pp T.equal
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let tgate_conduction () =
+  let tg = N.Dev (N.Tgate (N.sig_ 0, N.sig_ 1)) in
+  List.iter
+    (fun (a, b) ->
+      let env i = if i = 0 then a else b in
+      Alcotest.(check bool)
+        (Printf.sprintf "tg a=%b b=%b" a b)
+        (a <> b) (N.conducts env tg))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let fixed_devices () =
+  let env1 _ = true and env0 _ = false in
+  Alcotest.(check bool) "n on" true (N.conducts env1 (N.Dev (N.Fixed_n (N.sig_ 0))));
+  Alcotest.(check bool) "n off" false (N.conducts env0 (N.Dev (N.Fixed_n (N.sig_ 0))));
+  Alcotest.(check bool) "p off" false (N.conducts env1 (N.Dev (N.Fixed_p (N.sig_ 0))));
+  Alcotest.(check bool) "p on" true (N.conducts env0 (N.Dev (N.Fixed_p (N.sig_ 0))));
+  Alcotest.(check bool) "inverted signal" true
+    (N.conducts env0 (N.Dev (N.Fixed_n (N.nsig 0))))
+
+let series_parallel () =
+  let net =
+    N.Ser [ N.Dev (N.Fixed_n (N.sig_ 0)); N.Par [ N.Dev (N.Fixed_n (N.sig_ 1)); N.Dev (N.Fixed_n (N.sig_ 2)) ] ]
+  in
+  let env m i = (m lsr i) land 1 = 1 in
+  for m = 0 to 7 do
+    let expected = env m 0 && (env m 1 || env m 2) in
+    Alcotest.(check bool) (Printf.sprintf "m=%d" m) expected (N.conducts (env m) net)
+  done
+
+let stack_and_counts () =
+  let net =
+    N.Ser
+      [
+        N.Dev (N.Fixed_n (N.sig_ 0));
+        N.Dev (N.Tgate (N.sig_ 1, N.sig_ 2));
+        N.Par [ N.Dev (N.Fixed_n (N.sig_ 3)); N.Dev (N.Fixed_n (N.sig_ 4)) ];
+      ]
+  in
+  Alcotest.(check int) "transistors" 5 (N.num_transistors net);
+  Alcotest.(check int) "leaves" 4 (N.num_leaves net);
+  Alcotest.(check int) "stack" 3 (N.max_stack net)
+
+let impl_complementarity_all_cells () =
+  (* Every shipped implementation must have complementary PU/PD networks
+     and realize the declared expression (checked inside impl_function /
+     builders, re-checked here). *)
+  List.iter
+    (fun (c : Cells.t) ->
+      let expected = Cells.tt c in
+      Alcotest.check tt (c.Cells.name ^ " ambipolar")
+        expected
+        (N.impl_function c.Cells.ambipolar c.Cells.pins);
+      match c.Cells.static with
+      | None -> ()
+      | Some impl ->
+          Alcotest.check tt (c.Cells.name ^ " static") expected (N.impl_function impl c.Cells.pins))
+    Cells.all
+
+let qcheck_expr_gen =
+  (* Random expressions over <= 4 vars from literals, and/or, xor pairs. *)
+  let open QCheck.Gen in
+  let lit = map (fun (i, n) -> if n then E.not_ (E.var i) else E.var i) (pair (int_bound 3) bool) in
+  let xor_pair = map2 (fun a b -> E.Xor [ a; b ]) lit lit in
+  let atom = oneof [ lit; xor_pair ] in
+  let rec expr depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (2, atom);
+          (2, map (fun es -> E.and_ es) (list_size (int_range 2 3) (expr (depth - 1))));
+          (2, map (fun es -> E.or_ es) (list_size (int_range 2 3) (expr (depth - 1))));
+        ]
+  in
+  expr 2
+
+let network_of_expr_correct =
+  QCheck.Test.make ~count:300 ~name:"of_expr realizes the expression"
+    (QCheck.make qcheck_expr_gen)
+    (fun e ->
+      match E.to_tt 4 e |> T.is_const with
+      | Some _ -> true (* constant functions are not gates *)
+      | None ->
+          let impl = N.of_expr ~pins:4 e in
+          T.equal (N.impl_function impl 4) (E.to_tt 4 e))
+
+let no_tgate_has_no_tgates =
+  QCheck.Test.make ~count:300 ~name:"of_expr_no_tgate uses no transmission gates"
+    (QCheck.make qcheck_expr_gen)
+    (fun e ->
+      match E.to_tt 4 e |> T.is_const with
+      | Some _ -> true
+      | None ->
+          let impl = N.of_expr_no_tgate ~pins:4 e in
+          let ok = ref true in
+          let rec scan = function
+            | N.Dev (N.Tgate _) -> ok := false
+            | N.Dev (N.Fixed_n _ | N.Fixed_p _) -> ()
+            | N.Ser children | N.Par children -> List.iter scan children
+          in
+          scan impl.N.pull_up;
+          scan impl.N.pull_down;
+          !ok && T.equal (N.impl_function impl 4) (E.to_tt 4 e))
+
+(* ------------------------------------------------------------------ *)
+(* Cells *)
+
+let library_has_46_cells () =
+  Alcotest.(check int) "46 cells" 46 (List.length Cells.all)
+
+let conventional_subset () =
+  Alcotest.(check bool) "conventional smaller" true
+    (List.length Cells.conventional < List.length Cells.all);
+  List.iter
+    (fun (c : Cells.t) ->
+      Alcotest.(check bool) (c.Cells.name ^ " has static impl") true (c.Cells.static <> None))
+    Cells.conventional
+
+let generalized_cells_embed_xor () =
+  List.iter
+    (fun (c : Cells.t) ->
+      if c.Cells.generalized && c.Cells.name <> "MUX2" && c.Cells.name <> "MUXI2" then begin
+        let rec has_xor = function
+          | E.Xor _ -> true
+          | E.Const _ | E.Var _ -> false
+          | E.Not e -> has_xor e
+          | E.And es | E.Or es -> List.exists has_xor es
+        in
+        Alcotest.(check bool) (c.Cells.name ^ " embeds xor") true (has_xor c.Cells.expr)
+      end)
+    Cells.all
+
+let inverter_is_two_transistors () =
+  Alcotest.(check int) "INV 2T" 2 (N.impl_transistors Cells.inverter.Cells.ambipolar)
+
+let xor2_cheaper_ambipolar () =
+  let xor = Cells.find "XOR2" in
+  let amb = N.impl_transistors xor.Cells.ambipolar in
+  (* The transmission-gate XOR needs 6 transistors (2 TGs + complement
+     inverter); the unipolar static XOR needs 12. *)
+  Alcotest.(check int) "ambipolar XOR2 6T" 6 amb;
+  let static = N.of_expr_no_tgate ~pins:2 xor.Cells.expr in
+  Alcotest.(check int) "static XOR2 12T" 12 (N.impl_transistors static)
+
+let nand2_classic () =
+  let nand = Cells.find "NAND2" in
+  Alcotest.(check int) "NAND2 4T" 4 (N.impl_transistors nand.Cells.ambipolar);
+  Alcotest.(check int) "NAND2 stack 2" 2 (N.impl_stack nand.Cells.ambipolar)
+
+let gnand2_structure () =
+  let g = Cells.find "GNAND2" in
+  (* (A^C)(B^D)' : two transmission gates per network + 2 complement
+     inverters = 4 + 4 + 4 = 12 transistors. *)
+  Alcotest.(check int) "GNAND2 12T" 12 (N.impl_transistors g.Cells.ambipolar);
+  Alcotest.(check int) "GNAND2 stack 2" 2 (N.impl_stack g.Cells.ambipolar)
+
+let all_pins_in_support () =
+  List.iter
+    (fun (c : Cells.t) ->
+      Alcotest.(check int)
+        (c.Cells.name ^ " full support")
+        c.Cells.pins
+        (List.length (T.support (Cells.tt c))))
+    Cells.all
+
+(* ------------------------------------------------------------------ *)
+(* Genlib *)
+
+let libraries_well_formed () =
+  List.iter
+    (fun (lib : G.t) ->
+      Alcotest.(check bool) (lib.G.name ^ " nonempty") true (lib.G.gates <> []);
+      List.iter
+        (fun (g : G.gate) ->
+          Alcotest.(check bool) "positive area" true (g.G.area > 0.0);
+          Alcotest.(check bool) "positive delay" true (g.G.delay > 0.0);
+          Alcotest.(check int) "caps per pin" g.G.cell.Cells.pins (Array.length g.G.input_caps))
+        lib.G.gates;
+      ignore (G.find_gate lib "INV"))
+    G.all_libraries
+
+let generalized_library_is_46 () =
+  Alcotest.(check int) "46 gates" 46 (List.length G.generalized_cntfet.G.gates)
+
+let conventional_same_gate_set () =
+  let names lib = List.map (fun g -> g.G.cell.Cells.name) lib.G.gates in
+  Alcotest.(check (list string)) "cnv = cmos gate set"
+    (names G.conventional_cntfet) (names G.cmos)
+
+let cmos_slower_than_cntfet () =
+  List.iter2
+    (fun (a : G.gate) (b : G.gate) ->
+      Alcotest.(check bool)
+        (a.G.cell.Cells.name ^ " cmos slower")
+        true
+        (b.G.delay > a.G.delay *. 4.0))
+    G.conventional_cntfet.G.gates G.cmos.G.gates
+
+let genlib_export_mentions_all_gates () =
+  let text = G.to_genlib_string G.generalized_cntfet in
+  List.iter
+    (fun (g : G.gate) ->
+      let name = "GATE " ^ g.G.cell.Cells.name ^ " " in
+      let found =
+        let len = String.length text and n = String.length name in
+        let rec scan i = i + n <= len && (String.sub text i n = name || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("exports " ^ g.G.cell.Cells.name) true found)
+    G.generalized_cntfet.G.gates
+
+(* ------------------------------------------------------------------ *)
+(* Dynlogic *)
+
+module D = Cell.Dynlogic
+
+let dyn_gnor_functions () =
+  let g = D.gnor 2 in
+  let fns = D.achievable_functions g in
+  Alcotest.(check int) "4 configurations, 4 functions" 4 (List.length fns);
+  (* config 0 must be plain NOR2 *)
+  let nor2 = Cells.tt (Cells.find "NOR2") in
+  Alcotest.check tt "config 0 = NOR2" nor2 (D.function_of g ~config:0)
+
+let dyn_gnor_polarity_flip () =
+  let g = D.gnor 2 in
+  (* flipping config bit 0 complements input 0 *)
+  let f0 = D.function_of g ~config:0 in
+  let f1 = D.function_of g ~config:1 in
+  Alcotest.check tt "flip" (T.flip_input f0 0) f1
+
+let dyn_reconfigurable_rich () =
+  let g = D.reconfigurable2 in
+  let fns = D.achievable_functions g in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d functions >= 8 (background [5]: 8 with 7T)" (List.length fns))
+    true
+    (List.length fns >= 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "%dT <= 7" (D.num_transistors g))
+    true
+    (D.num_transistors g <= 7);
+  (* the achievable set contains XNOR (the poster child of ambipolarity) *)
+  let xnor = Cells.tt (Cells.find "XNOR2") in
+  Alcotest.(check bool) "xnor achievable" true
+    (List.exists (fun f -> T.equal f xnor) fns)
+
+let dyn_alpha_exceeds_static () =
+  let g = D.gnor 2 in
+  Alcotest.(check (float 1e-9)) "dynamic NOR alpha = offset fraction" 0.75
+    (D.eval_alpha g ~config:0)
+
+(* ------------------------------------------------------------------ *)
+(* Genlib text roundtrip *)
+
+let genlib_parse_roundtrip () =
+  List.iter
+    (fun lib ->
+      let parsed = G.parse_genlib (G.to_genlib_string lib) in
+      Alcotest.(check int)
+        (lib.G.name ^ " gate count")
+        (List.length lib.G.gates) (List.length parsed);
+      List.iter2
+        (fun (g : G.gate) (name, area, expr, _delay) ->
+          Alcotest.(check string) "name" g.G.cell.Cells.name name;
+          Alcotest.(check (float 1e-9)) "area" g.G.area area;
+          Alcotest.check tt
+            (name ^ " function")
+            (Cells.tt g.G.cell)
+            (E.to_tt g.G.cell.Cells.pins expr))
+        lib.G.gates parsed)
+    G.all_libraries
+
+let genlib_parse_errors () =
+  Alcotest.(check bool) "bad formula raises" true
+    (try
+       ignore (G.parse_genlib "GATE x 1 O=A**B;\n");
+       false
+     with G.Parse_error _ -> true)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "cell"
+    [
+      ( "network",
+        Alcotest.
+          [
+            test_case "tgate conduction" `Quick tgate_conduction;
+            test_case "fixed devices" `Quick fixed_devices;
+            test_case "series/parallel" `Quick series_parallel;
+            test_case "stack and counts" `Quick stack_and_counts;
+            test_case "all cells complementary + correct" `Quick impl_complementarity_all_cells;
+          ]
+        @ qt [ network_of_expr_correct; no_tgate_has_no_tgates ] );
+      ( "cells",
+        [
+          Alcotest.test_case "46 cells" `Quick library_has_46_cells;
+          Alcotest.test_case "conventional subset" `Quick conventional_subset;
+          Alcotest.test_case "generalized embed xor" `Quick generalized_cells_embed_xor;
+          Alcotest.test_case "inverter 2T" `Quick inverter_is_two_transistors;
+          Alcotest.test_case "xor2 6T vs 12T" `Quick xor2_cheaper_ambipolar;
+          Alcotest.test_case "nand2 classic" `Quick nand2_classic;
+          Alcotest.test_case "gnand2 structure" `Quick gnand2_structure;
+          Alcotest.test_case "full pin support" `Quick all_pins_in_support;
+        ] );
+      ( "dynlogic",
+        [
+          Alcotest.test_case "gnor functions" `Quick dyn_gnor_functions;
+          Alcotest.test_case "polarity flip" `Quick dyn_gnor_polarity_flip;
+          Alcotest.test_case "reconfigurable >= 8 fns" `Quick dyn_reconfigurable_rich;
+          Alcotest.test_case "dynamic alpha" `Quick dyn_alpha_exceeds_static;
+        ] );
+      ( "genlib",
+        [
+          Alcotest.test_case "libraries well-formed" `Quick libraries_well_formed;
+          Alcotest.test_case "generalized has 46" `Quick generalized_library_is_46;
+          Alcotest.test_case "cnv/cmos same gates" `Quick conventional_same_gate_set;
+          Alcotest.test_case "cmos 5x slower" `Quick cmos_slower_than_cntfet;
+          Alcotest.test_case "genlib export complete" `Quick genlib_export_mentions_all_gates;
+          Alcotest.test_case "genlib parse roundtrip" `Quick genlib_parse_roundtrip;
+          Alcotest.test_case "genlib parse errors" `Quick genlib_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+module N = Nets.Netlist
+module C = Circuits
+
+let eval_bus outs lo width =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    if outs.(lo + i) then v := !v lor (1 lsl i)
+  done;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* Arith *)
+
+let adder_exhaustive () =
+  let t = N.create () in
+  let a = C.Arith.input_bus t "a" 4 and b = C.Arith.input_bus t "b" 4 in
+  let sum, carry = C.Arith.ripple_adder t a b in
+  C.Arith.output_bus t "s" sum;
+  N.add_output t "c" carry;
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let ins = Array.init 8 (fun i -> if i < 4 then (x lsr i) land 1 = 1 else (y lsr (i - 4)) land 1 = 1) in
+      let outs = N.eval t ins in
+      let got = eval_bus outs 0 4 lor if outs.(4) then 16 else 0 in
+      Alcotest.(check int) (Printf.sprintf "%d+%d" x y) (x + y) got
+    done
+  done
+
+let subtractor_exhaustive () =
+  let t = N.create () in
+  let a = C.Arith.input_bus t "a" 4 and b = C.Arith.input_bus t "b" 4 in
+  let diff, no_borrow = C.Arith.subtractor t a b in
+  C.Arith.output_bus t "d" diff;
+  N.add_output t "nb" no_borrow;
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let ins = Array.init 8 (fun i -> if i < 4 then (x lsr i) land 1 = 1 else (y lsr (i - 4)) land 1 = 1) in
+      let outs = N.eval t ins in
+      Alcotest.(check int) (Printf.sprintf "%d-%d" x y) ((x - y) land 15) (eval_bus outs 0 4);
+      Alcotest.(check bool) "no borrow" (x >= y) outs.(4)
+    done
+  done
+
+let comparators () =
+  let t = N.create () in
+  let a = C.Arith.input_bus t "a" 4 and b = C.Arith.input_bus t "b" 4 in
+  N.add_output t "eq" (C.Arith.equal_comparator t a b);
+  N.add_output t "lt" (C.Arith.less_than t a b);
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let ins = Array.init 8 (fun i -> if i < 4 then (x lsr i) land 1 = 1 else (y lsr (i - 4)) land 1 = 1) in
+      let outs = N.eval t ins in
+      Alcotest.(check bool) "eq" (x = y) outs.(0);
+      Alcotest.(check bool) "lt" (x < y) outs.(1)
+    done
+  done
+
+let parity_and_trees () =
+  let t = N.create () in
+  let x = C.Arith.input_bus t "x" 5 in
+  N.add_output t "par" (C.Arith.parity_tree t x);
+  N.add_output t "all" (C.Arith.and_tree t x);
+  N.add_output t "any" (C.Arith.or_tree t x);
+  for m = 0 to 31 do
+    let ins = Array.init 5 (fun i -> (m lsr i) land 1 = 1) in
+    let outs = N.eval t ins in
+    let pop = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ins in
+    Alcotest.(check bool) "parity" (pop land 1 = 1) outs.(0);
+    Alcotest.(check bool) "and" (pop = 5) outs.(1);
+    Alcotest.(check bool) "or" (pop > 0) outs.(2)
+  done
+
+let mux_tree_selects () =
+  let t = N.create () in
+  let sel = C.Arith.input_bus t "s" 2 in
+  let choices = Array.init 4 (fun i -> C.Arith.input_bus t (Printf.sprintf "c%d" i) 2) in
+  let out = C.Arith.mux_tree t sel choices in
+  C.Arith.output_bus t "o" out;
+  let rng = Logic.Prng.create 15L in
+  for _ = 1 to 100 do
+    let vals = Array.init 4 (fun _ -> Logic.Prng.int rng 4) in
+    let s = Logic.Prng.int rng 4 in
+    let ins = Array.make 10 false in
+    ins.(0) <- s land 1 = 1;
+    ins.(1) <- s lsr 1 = 1;
+    Array.iteri (fun i v ->
+        ins.(2 + (2 * i)) <- v land 1 = 1;
+        ins.(2 + (2 * i) + 1) <- v lsr 1 = 1)
+      vals;
+    let outs = N.eval t ins in
+    Alcotest.(check int) "selected" vals.(s) (eval_bus outs 0 2)
+  done
+
+let decoder_one_hot () =
+  let t = N.create () in
+  let sel = C.Arith.input_bus t "s" 3 in
+  let outs = C.Arith.decoder t sel in
+  Array.iteri (fun i id -> N.add_output t (Printf.sprintf "d%d" i) id) outs;
+  for s = 0 to 7 do
+    let ins = Array.init 3 (fun i -> (s lsr i) land 1 = 1) in
+    let result = N.eval t ins in
+    Array.iteri
+      (fun i v -> Alcotest.(check bool) (Printf.sprintf "s=%d d%d" s i) (i = s) v)
+      result
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Multiplier *)
+
+let multiplier_exhaustive width =
+  let t = C.Multiplier.generate ~width in
+  let lim = (1 lsl width) - 1 in
+  for a = 0 to lim do
+    for b = 0 to lim do
+      let ins =
+        Array.init (2 * width) (fun i ->
+            if i < width then (a lsr i) land 1 = 1 else (b lsr (i - width)) land 1 = 1)
+      in
+      let outs = N.eval t ins in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) (eval_bus outs 0 (2 * width))
+    done
+  done
+
+let multiplier_random_16 () =
+  let t = C.Multiplier.generate ~width:16 in
+  let rng = Logic.Prng.create 31L in
+  for _ = 1 to 200 do
+    let a = Logic.Prng.int rng 65536 and b = Logic.Prng.int rng 65536 in
+    let ins =
+      Array.init 32 (fun i -> if i < 16 then (a lsr i) land 1 = 1 else (b lsr (i - 16)) land 1 = 1)
+    in
+    let outs = N.eval t ins in
+    Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) (eval_bus outs 0 32)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Hamming *)
+
+let hamming_corrects_all_single_errors () =
+  List.iter
+    (fun data_bits ->
+      let enc = C.Hamming.encoder ~data_bits in
+      let cor = C.Hamming.corrector ~data_bits in
+      let r = C.Hamming.check_bits_for data_bits in
+      let rng = Logic.Prng.create 53L in
+      for _ = 1 to 50 do
+        let d = Logic.Prng.int rng (1 lsl min data_bits 30) in
+        let data = Array.init data_bits (fun i -> (d lsr i) land 1 = 1) in
+        let checks = N.eval enc data in
+        Alcotest.(check int) "check width" r (Array.length checks);
+        for flip = -1 to data_bits - 1 do
+          let received = Array.mapi (fun i v -> if i = flip then not v else v) data in
+          let outs = N.eval cor (Array.append received checks) in
+          Alcotest.(check int)
+            (Printf.sprintf "w=%d d=%d flip=%d" data_bits d flip)
+            d
+            (eval_bus outs 0 data_bits);
+          Alcotest.(check bool) "err flag" (flip >= 0) outs.(data_bits)
+        done
+      done)
+    [ 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* ALU / randlogic / des / suite *)
+
+let alu_add_op () =
+  (* Feature list [Add]: single op, result = a + b (mod 2^w). *)
+  let t = C.Alu.generate ~width:4 ~features:[ C.Alu.Add ] () in
+  let ins_of a b op =
+    (* input order: a, b, op *)
+    Array.init (N.num_inputs t) (fun i ->
+        if i < 4 then (a lsr i) land 1 = 1
+        else if i < 8 then (b lsr (i - 4)) land 1 = 1
+        else (op lsr (i - 8)) land 1 = 1)
+  in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let outs = N.eval t (ins_of a b 0) in
+      Alcotest.(check int) (Printf.sprintf "%d+%d" a b) ((a + b) land 15) (eval_bus outs 0 4);
+      Alcotest.(check bool) "zero flag" ((a + b) land 15 = 0) outs.(4)
+    done
+  done
+
+let generators_deterministic () =
+  let once () =
+    let t = C.Randlogic.generate ~inputs:10 ~gates:50 ~outputs:5 ~seed:99L () in
+    let r = Nets.Sim.run_random ~seed:1L t 64 in
+    Array.map (fun (_, v) -> Format.asprintf "%a" Logic.Bitvec.pp v) (Nets.Sim.output_values t r)
+  in
+  Alcotest.(check (array string)) "same circuit" (once ()) (once ())
+
+let des_feistel_structure () =
+  (* One round leaves the old right half in the new left half. *)
+  let t = C.Des.generate ~rounds:1 ~seed:5L () in
+  let rng = Logic.Prng.create 71L in
+  for _ = 1 to 20 do
+    let ins = Array.init (N.num_inputs t) (fun _ -> Logic.Prng.bool rng) in
+    let outs = N.eval t ins in
+    for i = 0 to 31 do
+      Alcotest.(check bool) (Printf.sprintf "L'=R bit %d" i) ins.(32 + i) outs.(i)
+    done
+  done
+
+let suite_entries_generate () =
+  List.iter
+    (fun (e : C.Suite.entry) ->
+      let t = e.C.Suite.generate () in
+      Alcotest.(check bool) (e.C.Suite.name ^ " nonempty") true (N.num_gates t > 50);
+      Alcotest.(check bool) (e.C.Suite.name ^ " has outputs") true (N.num_outputs t > 0))
+    C.Suite.all;
+  Alcotest.(check int) "12 circuits" 12 (List.length C.Suite.all)
+
+let suite_row_order_matches_paper () =
+  let names = List.map (fun (e : C.Suite.entry) -> e.C.Suite.name) C.Suite.all in
+  Alcotest.(check (list string)) "Table 1 order"
+    [ "C2670"; "C1908"; "C3540"; "dalu"; "C7552"; "C6288"; "C5315"; "des"; "i10"; "t481"; "i8"; "C1355" ]
+    names
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "ripple adder" `Quick adder_exhaustive;
+          Alcotest.test_case "subtractor" `Quick subtractor_exhaustive;
+          Alcotest.test_case "comparators" `Quick comparators;
+          Alcotest.test_case "parity/and/or trees" `Quick parity_and_trees;
+          Alcotest.test_case "mux tree" `Quick mux_tree_selects;
+          Alcotest.test_case "decoder one-hot" `Quick decoder_one_hot;
+        ] );
+      ( "multiplier",
+        [
+          Alcotest.test_case "3x3 exhaustive" `Quick (fun () -> multiplier_exhaustive 3);
+          Alcotest.test_case "4x4 exhaustive" `Quick (fun () -> multiplier_exhaustive 4);
+          Alcotest.test_case "16x16 random" `Slow multiplier_random_16;
+        ] );
+      ( "hamming",
+        [ Alcotest.test_case "corrects single errors" `Slow hamming_corrects_all_single_errors ]
+      );
+      ( "suite",
+        [
+          Alcotest.test_case "alu add op" `Quick alu_add_op;
+          Alcotest.test_case "deterministic generators" `Quick generators_deterministic;
+          Alcotest.test_case "des feistel structure" `Quick des_feistel_structure;
+          Alcotest.test_case "entries generate" `Slow suite_entries_generate;
+          Alcotest.test_case "paper row order" `Quick suite_row_order_matches_paper;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+module E = Experiments
+
+let libchar_claims () =
+  let r = E.Exp_libchar.run () in
+  Alcotest.(check bool) "saving in paper band" true
+    (r.E.Exp_libchar.saving_vs_cmos > 0.2 && r.E.Exp_libchar.saving_vs_cmos < 0.45);
+  Alcotest.(check (float 1e-9)) "nand alpha" 0.25 r.E.Exp_libchar.alpha_nand2;
+  Alcotest.(check (float 1e-9)) "xor alpha" 0.5 r.E.Exp_libchar.alpha_xor2;
+  Alcotest.(check bool) "PG/PS cmos ~ 10%" true
+    (r.E.Exp_libchar.pg_over_ps_cmos > 0.05 && r.E.Exp_libchar.pg_over_ps_cmos < 0.2);
+  Alcotest.(check bool) "PG/PS cntfet < 1%" true (r.E.Exp_libchar.pg_over_ps_cntfet < 0.01);
+  Alcotest.(check (float 1e-21)) "36aF" 36e-18 r.E.Exp_libchar.inv_cap_cntfet;
+  Alcotest.(check (float 1e-21)) "52aF" 52e-18 r.E.Exp_libchar.inv_cap_cmos
+
+let pattern_claims () =
+  let r = E.Exp_patterns.run () in
+  Alcotest.(check int) "26 patterns" 26 (List.length r.E.Exp_patterns.patterns);
+  Alcotest.(check bool) "nor3 parallel > 3x series" true
+    (r.E.Exp_patterns.nor3_parallel > 3.0 *. r.E.Exp_patterns.nor3_series);
+  Alcotest.(check bool) "classification saves simulations" true
+    (r.E.Exp_patterns.dc_solves * 5 < r.E.Exp_patterns.total_vectors)
+
+let tgate_claims () =
+  let configs = E.Exp_tgate.run () in
+  Alcotest.(check int) "8 configs" 8 (List.length configs);
+  List.iter
+    (fun (c : E.Exp_tgate.config) ->
+      if c.E.Exp_tgate.passing then
+        Alcotest.(check bool) "full swing" true
+          (abs_float (c.E.Exp_tgate.vout -. c.E.Exp_tgate.vin) < 0.05))
+    configs
+
+let table1_small_subset () =
+  (* A reduced Table-1 run on the two cheapest rows keeps CI fast while
+     exercising the whole E1 pipeline including verification. *)
+  let circuits =
+    [ Circuits.Suite.find "C1908"; Circuits.Suite.find "C1355" ]
+  in
+  let s = E.Exp_table1.run ~patterns:16384 ~circuits () in
+  Alcotest.(check int) "two rows" 2 (List.length s.E.Exp_table1.rows);
+  let gen = List.assoc "cntfet-generalized" s.E.Exp_table1.averages in
+  let cmos = List.assoc "cmos" s.E.Exp_table1.averages in
+  let module R = Techmap.Estimate in
+  Alcotest.(check bool) "fewer gates" true (gen.R.gates < cmos.R.gates);
+  Alcotest.(check bool) "faster" true (gen.R.delay < cmos.R.delay /. 4.0);
+  Alcotest.(check bool) "less power" true (gen.R.total < cmos.R.total);
+  Alcotest.(check bool) "EDP much lower" true (gen.R.edp *. 5.0 < cmos.R.edp);
+  (* ECC rows are the generalized library's best case. *)
+  let improvements = List.assoc "cntfet-generalized" s.E.Exp_table1.improvement_vs_cmos in
+  Alcotest.(check bool) "EDP ratio > 10x on ECC" true (List.assoc "edp" improvements > 10.0)
+
+let ablation_a5 () =
+  (* Removing the XOR cells from the generalized library must cost gates on
+     the multiplier (the expressive-power effect in isolation). *)
+  let results = E.Ablations.a5_no_xor_cells ~circuit:"C1355" () in
+  let full = List.assoc "full generalized" results in
+  let reduced = List.assoc "XOR cells removed" results in
+  Alcotest.(check bool) "xor cells matter" true
+    (full.E.Ablations.gates < reduced.E.Ablations.gates)
+
+let ablation_a3 () =
+  let results = E.Ablations.a3_script ~circuit:"C1355" () in
+  let raw = List.assoc "raw AIG" results in
+  let opt = List.assoc "resyn2rs" results in
+  Alcotest.(check bool) "resyn2rs does not hurt area" true
+    (opt.E.Ablations.area <= raw.E.Ablations.area *. 1.1)
+
+let seq_claims () =
+  let rows = E.Exp_seq.run ~data_width:4 ~cycles:500 () in
+  let find name = List.find (fun r -> r.E.Exp_seq.library = name) rows in
+  let gen = (find "cntfet-generalized").E.Exp_seq.report in
+  let cmos = (find "cmos").E.Exp_seq.report in
+  Alcotest.(check bool) "fewer gates" true (gen.Techmap.Seqmap.gates < cmos.Techmap.Seqmap.gates);
+  Alcotest.(check bool) "lower epc" true (gen.Techmap.Seqmap.epc < cmos.Techmap.Seqmap.epc);
+  Alcotest.(check bool) "lower clock power (no clk' rail + smaller caps)" true
+    (gen.Techmap.Seqmap.clock_power < cmos.Techmap.Seqmap.clock_power)
+
+let sensitivity_claims () =
+  let r = E.Exp_sensitivity.run ~mc_samples:500 () in
+  (* E13: power grows and delay shrinks with supply, monotonically. *)
+  let rec monotone f = function
+    | a :: (b :: _ as rest) -> f a b && monotone f rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "power up with vdd" true
+    (monotone
+       (fun a b ->
+         a.E.Exp_sensitivity.avg_gate_power_cnt < b.E.Exp_sensitivity.avg_gate_power_cnt)
+       r.E.Exp_sensitivity.vdd_sweep);
+  Alcotest.(check bool) "delay down with vdd" true
+    (monotone
+       (fun a b -> a.E.Exp_sensitivity.inv_delay_cnt > b.E.Exp_sensitivity.inv_delay_cnt)
+       r.E.Exp_sensitivity.vdd_sweep);
+  (* E14: leakage grows with temperature; CNTFET stays below CMOS. *)
+  Alcotest.(check bool) "ioff up with T" true
+    (monotone
+       (fun a b -> a.E.Exp_sensitivity.ioff_cnt < b.E.Exp_sensitivity.ioff_cnt)
+       r.E.Exp_sensitivity.temp_sweep);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "cnt < cmos at every T" true
+        (p.E.Exp_sensitivity.ioff_cnt < p.E.Exp_sensitivity.ioff_cmos))
+    r.E.Exp_sensitivity.temp_sweep;
+  (* E15: exponential sensitivity skews the mean above nominal. *)
+  Alcotest.(check bool) "mean > nominal (cnt)" true
+    (r.E.Exp_sensitivity.mc_cnt.E.Exp_sensitivity.mean
+    > r.E.Exp_sensitivity.mc_cnt.E.Exp_sensitivity.nominal);
+  Alcotest.(check bool) "p95 > mean" true
+    (r.E.Exp_sensitivity.mc_cnt.E.Exp_sensitivity.p95
+    > r.E.Exp_sensitivity.mc_cnt.E.Exp_sensitivity.mean)
+
+let dynamic_and_pla_claims () =
+  let d = E.Exp_dynamic.run () in
+  Alcotest.(check bool) ">= 8 functions" true (d.E.Exp_dynamic.reconf_functions >= 8);
+  Alcotest.(check bool) "<= 7 transistors" true (d.E.Exp_dynamic.reconf_transistors <= 7);
+  Alcotest.(check bool) "dynamic alpha above static" true
+    (d.E.Exp_dynamic.gnor2_dynamic_alpha > d.E.Exp_dynamic.static_gnor2_alpha);
+  let rows = E.Exp_pla.run () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.E.Exp_pla.name ^ " ambipolar PLA smaller")
+        true
+        (r.E.Exp_pla.ambipolar_transistors < r.E.Exp_pla.cmos_transistors))
+    rows
+
+let delay_claim () =
+  let r = E.Exp_delay.run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [4, 6.5]" r.E.Exp_delay.ratio)
+    true
+    (r.E.Exp_delay.ratio > 4.0 && r.E.Exp_delay.ratio < 6.5)
+
+let report_rendering () =
+  let t =
+    {
+      E.Report.title = "t";
+      headers = [| "A"; "B" |];
+      rows = [ [| "aa"; "1" |]; [| "b"; "22" |] ];
+    }
+  in
+  let s = Format.asprintf "%a" E.Report.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0
+    &&
+    let rec has i =
+      i + 2 <= String.length s && (String.sub s i 2 = "aa" || has (i + 1))
+    in
+    has 0);
+  Alcotest.(check string) "pct" "28.1%" (E.Report.pct 0.281);
+  Alcotest.(check string) "times" "7.2x" (E.Report.times 7.16)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "claims",
+        [
+          Alcotest.test_case "E2/E4/E5/E6 libchar" `Slow libchar_claims;
+          Alcotest.test_case "E3/E8 patterns" `Quick pattern_claims;
+          Alcotest.test_case "E7 tgate" `Quick tgate_claims;
+          Alcotest.test_case "E1 table1 subset" `Slow table1_small_subset;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "E12 seq" `Slow seq_claims;
+          Alcotest.test_case "E13-E15 sensitivity" `Slow sensitivity_claims;
+          Alcotest.test_case "E10/E11 dynamic+pla" `Slow dynamic_and_pla_claims;
+          Alcotest.test_case "E9 delay ratio" `Slow delay_claim;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "A5 xor cells" `Slow ablation_a5;
+          Alcotest.test_case "A3 script" `Slow ablation_a3;
+        ] );
+      ("report", [ Alcotest.test_case "rendering" `Quick report_rendering ]);
+    ]

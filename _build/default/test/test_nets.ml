@@ -1,0 +1,182 @@
+module N = Nets.Netlist
+module Sim = Nets.Sim
+module Blif = Nets.Blif
+module B = Logic.Bitvec
+module T = Logic.Truthtable
+
+let tt = Alcotest.testable T.pp T.equal
+
+let full_adder () =
+  let t = N.create () in
+  let a = N.add_input t "a" and b = N.add_input t "b" and c = N.add_input t "c" in
+  let x = N.add_node t N.Xor [| a; b |] in
+  N.add_output t "sum" (N.add_node t N.Xor [| x; c |]);
+  N.add_output t "carry" (N.add_node t N.Maj [| a; b; c |]);
+  t
+
+let eval_matches_truth () =
+  let t = full_adder () in
+  for m = 0 to 7 do
+    let ins = Array.init 3 (fun i -> (m lsr i) land 1 = 1) in
+    let outs = N.eval t ins in
+    let total = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1) in
+    Alcotest.(check bool) "sum" (total land 1 = 1) outs.(0);
+    Alcotest.(check bool) "carry" (total >= 2) outs.(1)
+  done
+
+let ops_eval () =
+  let t = N.create () in
+  let a = N.add_input t "a" and b = N.add_input t "b" in
+  N.add_output t "nand" (N.add_node t N.Nand [| a; b |]);
+  N.add_output t "nor" (N.add_node t N.Nor [| a; b |]);
+  N.add_output t "xnor" (N.add_node t N.Xnor [| a; b |]);
+  N.add_output t "buf" (N.add_node t N.Buf [| a |]);
+  for m = 0 to 3 do
+    let va = m land 1 = 1 and vb = m lsr 1 = 1 in
+    let outs = N.eval t [| va; vb |] in
+    Alcotest.(check bool) "nand" (not (va && vb)) outs.(0);
+    Alcotest.(check bool) "nor" (not (va || vb)) outs.(1);
+    Alcotest.(check bool) "xnor" (va = vb) outs.(2);
+    Alcotest.(check bool) "buf" va outs.(3)
+  done
+
+let mux_semantics () =
+  let t = N.create () in
+  let s = N.add_input t "s" and a = N.add_input t "a" and b = N.add_input t "b" in
+  N.add_output t "m" (N.add_node t N.Mux [| s; a; b |]);
+  List.iter
+    (fun (vs, va, vb) ->
+      let outs = N.eval t [| vs; va; vb |] in
+      Alcotest.(check bool) "mux" (if vs then vb else va) outs.(0))
+    [ (false, true, false); (true, true, false); (false, false, true); (true, false, true) ]
+
+let node_function_full_adder () =
+  let t = full_adder () in
+  let outs = N.outputs t in
+  let _, sum = outs.(0) in
+  let vars = N.inputs t in
+  let f = N.node_function t sum vars in
+  let parity =
+    List.fold_left (fun acc i -> T.logxor acc (T.var 3 i)) (T.const 3 false) [ 0; 1; 2 ]
+  in
+  Alcotest.check tt "sum fn" parity f
+
+let node_function_lut () =
+  let t = N.create () in
+  let a = N.add_input t "a" and b = N.add_input t "b" in
+  let xor = T.logxor (T.var 2 0) (T.var 2 1) in
+  let x = N.add_node t (N.Lut xor) [| a; b |] in
+  let y = N.add_node t (N.Lut xor) [| x; a |] in
+  N.add_output t "y" y;
+  (* (a ^ b) ^ a = b *)
+  let f = N.node_function t y (N.inputs t) in
+  Alcotest.check tt "lut composition" (T.var 2 1) f
+
+let sim_matches_eval () =
+  let t = full_adder () in
+  let r = Sim.run_random ~seed:17L t 1000 in
+  let outs = Sim.output_values t r in
+  let ins = N.inputs t in
+  for p = 0 to 999 do
+    let input_values = Array.map (fun id -> B.get r.Sim.node_values.(id) p) ins in
+    let expected = N.eval t input_values in
+    Array.iteri
+      (fun i (_, v) ->
+        Alcotest.(check bool) (Printf.sprintf "pattern %d out %d" p i) expected.(i) (B.get v p))
+      outs
+  done
+
+let sim_signal_probability () =
+  let t = N.create () in
+  let a = N.add_input t "a" and b = N.add_input t "b" in
+  let y = N.add_node t N.And [| a; b |] in
+  N.add_output t "y" y;
+  let r = Sim.run_random ~seed:23L t 100_000 in
+  let p = Sim.signal_probability r y in
+  Alcotest.(check bool) (Printf.sprintf "p(and)=%.3f ~ 0.25" p) true (abs_float (p -. 0.25) < 0.01)
+
+let sim_toggle_rate_xor () =
+  let t = N.create () in
+  let a = N.add_input t "a" and b = N.add_input t "b" in
+  let y = N.add_node t N.Xor [| a; b |] in
+  N.add_output t "y" y;
+  let r = Sim.run_random ~seed:29L t 100_000 in
+  (* XOR of two independent uniform streams toggles with probability 1/2. *)
+  let tr = Sim.toggle_rate r y in
+  Alcotest.(check bool) (Printf.sprintf "toggle=%.3f ~ 0.5" tr) true (abs_float (tr -. 0.5) < 0.01)
+
+let blif_roundtrip () =
+  let t = full_adder () in
+  let text = Blif.write_string ~model:"fa" t in
+  let t2 = Blif.read_string text in
+  Alcotest.(check int) "inputs" (N.num_inputs t) (N.num_inputs t2);
+  Alcotest.(check int) "outputs" (N.num_outputs t) (N.num_outputs t2);
+  for m = 0 to 7 do
+    let ins = Array.init 3 (fun i -> (m lsr i) land 1 = 1) in
+    Alcotest.(check (array bool)) (Printf.sprintf "m=%d" m) (N.eval t ins) (N.eval t2 ins)
+  done
+
+let blif_parses_dc_and_comments () =
+  let text =
+    "# a comment\n.model test\n.inputs a b c\n.outputs y\n.names a b c y\n1-1 1\n-11 1\n.end\n"
+  in
+  let t = Blif.read_string text in
+  (* y = a&c | b&c *)
+  List.iter
+    (fun (va, vb, vc) ->
+      let outs = N.eval t [| va; vb; vc |] in
+      Alcotest.(check bool) "cover" ((va && vc) || (vb && vc)) outs.(0))
+    [ (true, false, true); (false, true, true); (true, true, false); (false, false, true) ]
+
+let blif_zero_cover () =
+  let text = ".model z\n.inputs a b\n.outputs y\n.names a b y\n00 0\n11 0\n.end\n" in
+  let t = Blif.read_string text in
+  (* off-set cover: y = 0 at 00 and 11, so y = a xor b *)
+  List.iter
+    (fun (va, vb) ->
+      let outs = N.eval t [| va; vb |] in
+      Alcotest.(check bool) "offset cover" (va <> vb) outs.(0))
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let blif_out_of_order_blocks () =
+  let text =
+    ".model ooo\n.inputs a b\n.outputs y\n.names t1 t2 y\n11 1\n.names a b t1\n11 1\n.names a b t2\n00 1\n.end\n"
+  in
+  let t = Blif.read_string text in
+  (* y = (a&b) & (!a&!b) = 0 *)
+  List.iter
+    (fun (va, vb) ->
+      let outs = N.eval t [| va; vb |] in
+      Alcotest.(check bool) "const false" false outs.(0))
+    [ (false, false); (true, true) ]
+
+let blif_errors () =
+  Alcotest.check_raises "undriven output" (Blif.Parse_error "undriven output \"y\"")
+    (fun () -> ignore (Blif.read_string ".model m\n.inputs a\n.outputs y\n.end\n"))
+
+let () =
+  Alcotest.run "nets"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "full adder eval" `Quick eval_matches_truth;
+          Alcotest.test_case "nand/nor/xnor/buf" `Quick ops_eval;
+          Alcotest.test_case "mux semantics" `Quick mux_semantics;
+          Alcotest.test_case "node_function full adder" `Quick node_function_full_adder;
+          Alcotest.test_case "node_function lut composition" `Quick node_function_lut;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "matches eval" `Quick sim_matches_eval;
+          Alcotest.test_case "signal probability" `Quick sim_signal_probability;
+          Alcotest.test_case "xor toggle rate" `Quick sim_toggle_rate_xor;
+        ] );
+      ( "blif",
+        [
+          Alcotest.test_case "roundtrip" `Quick blif_roundtrip;
+          Alcotest.test_case "dc + comments" `Quick blif_parses_dc_and_comments;
+          Alcotest.test_case "offset cover" `Quick blif_zero_cover;
+          Alcotest.test_case "out-of-order blocks" `Quick blif_out_of_order_blocks;
+          Alcotest.test_case "undriven output error" `Quick blif_errors;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+module T = Logic.Truthtable
+module TL = Logic.Twolevel
+module N = Nets.Netlist
+
+(* ------------------------------------------------------------------ *)
+(* Twolevel minimization *)
+
+let qcheck_tt_gen n =
+  QCheck.Gen.(
+    map (fun bits -> T.of_bits n (Array.of_list bits)) (list_size (return (1 lsl n)) bool))
+
+let minimize_exact n =
+  QCheck.Test.make ~count:150
+    ~name:(Printf.sprintf "minimize covers exactly (n=%d)" n)
+    (QCheck.make (qcheck_tt_gen n))
+    (fun f -> TL.is_cover_of f (TL.minimize f))
+
+let minimize_not_worse_than_isop n =
+  QCheck.Test.make ~count:150
+    ~name:(Printf.sprintf "minimize <= isop terms (n=%d)" n)
+    (QCheck.make (qcheck_tt_gen n))
+    (fun f -> TL.cover_terms (TL.minimize f) <= List.length (T.isop f))
+
+let minimize_with_dc =
+  QCheck.Test.make ~count:100 ~name:"don't-cares only help"
+    (QCheck.make QCheck.Gen.(pair (qcheck_tt_gen 5) (qcheck_tt_gen 5)))
+    (fun (f, dc_raw) ->
+      (* Keep dc disjoint from the on-set to form a classic incompletely
+         specified function. *)
+      let dc = T.logand dc_raw (T.lognot f) in
+      let plain = TL.minimize f in
+      let with_dc = TL.minimize ~dc f in
+      TL.is_cover_of ~dc f with_dc
+      && TL.cover_terms with_dc <= TL.cover_terms plain)
+
+let minimize_known_example () =
+  (* f = minterms {0,1,2,3} over 3 vars = !x2 : one cube, one literal. *)
+  let f = T.of_bits 3 [| true; true; true; true; false; false; false; false |] in
+  let cover = TL.minimize f in
+  Alcotest.(check int) "one cube" 1 (TL.cover_terms cover);
+  Alcotest.(check int) "one literal" 1 (TL.cover_literals cover)
+
+let minimize_constants () =
+  Alcotest.(check int) "zero: empty cover" 0 (TL.cover_terms (TL.minimize (T.const 4 false)));
+  let ones = TL.minimize (T.const 4 true) in
+  Alcotest.(check int) "one: single empty cube" 1 (TL.cover_terms ones);
+  Alcotest.(check int) "one: zero literals" 0 (TL.cover_literals ones)
+
+(* ------------------------------------------------------------------ *)
+(* PLA *)
+
+let decoder_netlist () =
+  let nl = N.create () in
+  let sel = Circuits.Arith.input_bus nl "s" 3 in
+  let hot = Circuits.Arith.decoder nl sel in
+  Array.iteri (fun i id -> N.add_output nl (Printf.sprintf "d%d" i) id) hot;
+  nl
+
+let pla_of_decoder () =
+  let nl = decoder_netlist () in
+  let p = Pla.of_netlist nl in
+  Alcotest.(check bool) "matches netlist" true (Pla.check_against p nl);
+  Alcotest.(check int) "8 terms (one per minterm)" 8 (Pla.num_terms p);
+  Alcotest.(check int) "24 literals" 24 (Pla.num_literals p)
+
+let pla_term_sharing () =
+  (* Two outputs with a shared product term share it in the AND plane. *)
+  let x = T.var 3 0 and y = T.var 3 1 and z = T.var 3 2 in
+  let shared = T.logand x y in
+  let f0 = T.logor shared z in
+  let f1 = T.logand shared (T.lognot z) in
+  let p = Pla.of_functions [| f0; f1 |] in
+  Alcotest.(check bool) "term count below naive sum" true
+    (Pla.num_terms p < TL.cover_terms (TL.minimize f0) + TL.cover_terms (TL.minimize f1)
+    || Pla.num_terms p = 3 (* x&y shared, z, x&y&!z -> 3 *))
+
+let pla_eval_random =
+  QCheck.Test.make ~count:100 ~name:"pla eval = minimized functions"
+    (QCheck.make QCheck.Gen.(pair (qcheck_tt_gen 5) (qcheck_tt_gen 5)))
+    (fun (f0, f1) ->
+      let p = Pla.of_functions [| f0; f1 |] in
+      let ok = ref true in
+      for m = 0 to 31 do
+        let outs = Pla.eval p m in
+        if outs.(0) <> T.eval f0 m || outs.(1) <> T.eval f1 m then ok := false
+      done;
+      !ok)
+
+let pla_costs () =
+  let nl = decoder_netlist () in
+  let p = Pla.of_netlist nl in
+  let amb = Pla.ambipolar_cost p and cmos = Pla.cmos_cost p in
+  Alcotest.(check int) "no ambipolar input inverters" 0 amb.Pla.input_inverters;
+  Alcotest.(check int) "cmos inverters = inputs" 3 cmos.Pla.input_inverters;
+  Alcotest.(check int) "cmos overhead = 2 per input" (amb.Pla.transistors + 6)
+    cmos.Pla.transistors;
+  Alcotest.(check bool) "ambipolar reconfigurable" true amb.Pla.reconfigurable;
+  Alcotest.(check bool) "cmos fixed" false cmos.Pla.reconfigurable;
+  Alcotest.(check bool) "positive switched cap" true (amb.Pla.switched_cap > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* STA *)
+
+let sta_zero_slack_at_critical () =
+  let nl = Circuits.Hamming.corrector ~data_bits:8 in
+  let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let m = Techmap.Mapper.map ml aig in
+  let r = Techmap.Sta.analyze m in
+  Alcotest.(check bool) "worst slack ~ 0" true (abs_float r.Techmap.Sta.worst_slack < 1e-15);
+  Alcotest.(check int) "no violations at own period" 0
+    (List.length r.Techmap.Sta.violating_endpoints);
+  Alcotest.(check bool) "critical delay = mapped delay" true
+    (abs_float (r.Techmap.Sta.critical_delay -. Techmap.Mapped.delay m) < 1e-18);
+  (* Path arrivals are non-decreasing and end at the critical delay. *)
+  let arrivals = List.map (fun e -> e.Techmap.Sta.arrival) r.Techmap.Sta.critical_path in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-18 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone arrivals" true (monotone arrivals);
+  match List.rev arrivals with
+  | last :: _ ->
+      Alcotest.(check bool) "path ends at critical" true
+        (abs_float (last -. r.Techmap.Sta.critical_delay) < 1e-18)
+  | [] -> Alcotest.fail "empty critical path"
+
+let sta_violations_under_tight_period () =
+  let nl = Circuits.Hamming.corrector ~data_bits:8 in
+  let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let m = Techmap.Mapper.map ml aig in
+  let full = Techmap.Sta.analyze m in
+  let tight = Techmap.Sta.analyze ~period:(full.Techmap.Sta.critical_delay /. 2.0) m in
+  Alcotest.(check bool) "violations appear" true
+    (List.length tight.Techmap.Sta.violating_endpoints > 0);
+  Alcotest.(check bool) "worst slack negative" true (tight.Techmap.Sta.worst_slack < 0.0)
+
+let sta_histogram_counts_endpoints () =
+  let nl = Circuits.Hamming.corrector ~data_bits:8 in
+  let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let m = Techmap.Mapper.map ml aig in
+  let r = Techmap.Sta.analyze m in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Techmap.Sta.slack_histogram in
+  Alcotest.(check int) "histogram covers all endpoints"
+    (Array.length m.Techmap.Mapped.po_nets)
+    total
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pla"
+    [
+      ( "twolevel",
+        Alcotest.
+          [
+            test_case "known example" `Quick minimize_known_example;
+            test_case "constants" `Quick minimize_constants;
+          ]
+        @ qt
+            [
+              minimize_exact 4;
+              minimize_exact 6;
+              minimize_not_worse_than_isop 5;
+              minimize_with_dc;
+            ] );
+      ( "pla",
+        Alcotest.
+          [
+            test_case "decoder" `Quick pla_of_decoder;
+            test_case "term sharing" `Quick pla_term_sharing;
+            test_case "costs" `Quick pla_costs;
+          ]
+        @ qt [ pla_eval_random ] );
+      ( "sta",
+        [
+          Alcotest.test_case "zero slack at critical" `Quick sta_zero_slack_at_critical;
+          Alcotest.test_case "tight period violations" `Quick sta_violations_under_tight_period;
+          Alcotest.test_case "histogram totals" `Quick sta_histogram_counts_endpoints;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+module S = Logic.Sat
+module T = Logic.Truthtable
+
+let model_or_fail = function
+  | S.Sat m -> m
+  | S.Unsat -> Alcotest.fail "expected SAT"
+  | S.Unknown -> Alcotest.fail "unexpected Unknown"
+
+let basic_sat () =
+  let t = S.create () in
+  let a = S.new_var t and b = S.new_var t in
+  S.add_clause t [ a; b ];
+  S.add_clause t [ -a; b ];
+  let m = model_or_fail (S.solve t) in
+  Alcotest.(check bool) "b forced" true (m b)
+
+let basic_unsat () =
+  let t = S.create () in
+  let a = S.new_var t in
+  S.add_clause t [ a ];
+  S.add_clause t [ -a ];
+  Alcotest.(check bool) "unsat" true (S.solve t = S.Unsat)
+
+let empty_clause () =
+  let t = S.create () in
+  S.add_clause t [];
+  Alcotest.(check bool) "unsat" true (S.solve t = S.Unsat)
+
+let incremental_clauses () =
+  let t = S.create () in
+  let a = S.new_var t and b = S.new_var t in
+  S.add_clause t [ a; b ];
+  S.add_clause t [ -a; b ];
+  S.add_clause t [ a; -b ];
+  (match S.solve t with S.Sat _ -> () | S.Unsat | S.Unknown -> Alcotest.fail "sat");
+  S.add_clause t [ -a; -b ];
+  Alcotest.(check bool) "now unsat" true (S.solve t = S.Unsat)
+
+let assumptions () =
+  let t = S.create () in
+  let a = S.new_var t and b = S.new_var t in
+  S.add_clause t [ -a; b ];
+  (match S.solve ~assumptions:[ a ] t with
+  | S.Sat m -> Alcotest.(check bool) "b implied" true (m b)
+  | S.Unsat | S.Unknown -> Alcotest.fail "sat under assumption");
+  S.add_clause t [ -a; -b ];
+  Alcotest.(check bool) "a now contradictory" true (S.solve ~assumptions:[ a ] t = S.Unsat);
+  (match S.solve ~assumptions:[ -a ] t with
+  | S.Sat _ -> ()
+  | S.Unsat | S.Unknown -> Alcotest.fail "still sat without a")
+
+let pigeonhole n =
+  (* n+1 pigeons into n holes: unsat, forces real search + learning. *)
+  let t = S.create () in
+  let var = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> S.new_var t)) in
+  for p = 0 to n do
+    S.add_clause t (Array.to_list var.(p))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        S.add_clause t [ -var.(p1).(h); -var.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) (Printf.sprintf "php %d unsat" n) true (S.solve t = S.Unsat)
+
+let conflict_budget () =
+  let t = S.create () in
+  let var = Array.init 7 (fun _ -> Array.init 6 (fun _ -> S.new_var t)) in
+  for p = 0 to 6 do
+    S.add_clause t (Array.to_list var.(p))
+  done;
+  for h = 0 to 5 do
+    for p1 = 0 to 6 do
+      for p2 = p1 + 1 to 6 do
+        S.add_clause t [ -var.(p1).(h); -var.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "budget trips" true (S.solve ~max_conflicts:5 t = S.Unknown)
+
+let planted_random_3sat =
+  QCheck.Test.make ~count:60 ~name:"planted 3-sat instances solved with valid models"
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let rng = Logic.Prng.create (Int64.of_int (seed + 13)) in
+      let t = S.create () in
+      let n = 25 in
+      let vars = Array.init n (fun _ -> S.new_var t) in
+      let sol = Array.init n (fun _ -> Logic.Prng.bool rng) in
+      let clauses = ref [] in
+      for _ = 1 to 110 do
+        let c =
+          List.init 3 (fun _ ->
+              let i = Logic.Prng.int rng n in
+              if Logic.Prng.bool rng then vars.(i) else -vars.(i))
+        in
+        let satisfied = List.exists (fun l -> l > 0 = sol.(abs l - 1)) c in
+        let c =
+          if satisfied then c
+          else
+            (let i = Logic.Prng.int rng n in
+             if sol.(i) then vars.(i) else -vars.(i))
+            :: c
+        in
+        clauses := c :: !clauses;
+        S.add_clause t c
+      done;
+      match S.solve t with
+      | S.Sat m ->
+          List.for_all (fun c -> List.exists (fun l -> l > 0 = m (abs l)) c) !clauses
+      | S.Unsat | S.Unknown -> false)
+
+let unsat_implies_no_model =
+  (* Cross-check UNSAT answers against exhaustive enumeration on small
+     random instances. *)
+  QCheck.Test.make ~count:100 ~name:"unsat answers verified exhaustively"
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let rng = Logic.Prng.create (Int64.of_int (seed + 31)) in
+      let t = S.create () in
+      let n = 6 in
+      let vars = Array.init n (fun _ -> S.new_var t) in
+      let clauses = ref [] in
+      for _ = 1 to 24 do
+        let c =
+          List.init 3 (fun _ ->
+              let i = Logic.Prng.int rng n in
+              if Logic.Prng.bool rng then vars.(i) else -vars.(i))
+        in
+        clauses := c :: !clauses;
+        S.add_clause t c
+      done;
+      let exists_model =
+        let found = ref false in
+        for m = 0 to (1 lsl n) - 1 do
+          let ok =
+            List.for_all
+              (fun c -> List.exists (fun l -> l > 0 = ((m lsr (abs l - 1)) land 1 = 1)) c)
+              !clauses
+          in
+          if ok then found := true
+        done;
+        !found
+      in
+      match S.solve t with
+      | S.Sat m ->
+          exists_model
+          && List.for_all (fun c -> List.exists (fun l -> l > 0 = m (abs l)) c) !clauses
+      | S.Unsat -> not exists_model
+      | S.Unknown -> false)
+
+(* ------------------------------------------------------------------ *)
+(* SAT-based CEC *)
+
+module A = Aigs.Aig
+module V = Techmap.Verify
+
+let sat_cec_positive () =
+  let nl = Circuits.Hamming.corrector ~data_bits:8 in
+  let aig = Aigs.Opt.resyn2rs (A.of_netlist nl) in
+  Alcotest.(check bool) "aig equivalent" true (V.sat_equiv_netlist_aig nl aig = V.Equivalent);
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let m = Techmap.Mapper.map ml aig in
+  Alcotest.(check bool) "mapped equivalent" true
+    (V.sat_equiv_netlist_mapped nl m = V.Equivalent)
+
+let sat_cec_negative () =
+  let nl = Circuits.Hamming.corrector ~data_bits:8 in
+  (* A wrong implementation: encoder instead of corrector outputs. *)
+  let aig = A.create () in
+  let module N = Nets.Netlist in
+  let inputs = N.inputs nl in
+  let lits = Array.map (fun id -> A.add_input aig (N.input_name nl id)) inputs in
+  Array.iteri
+    (fun i (name, _) ->
+      A.add_output aig name (if i < Array.length lits then lits.(i) else A.const_false))
+    (N.outputs nl);
+  Alcotest.(check bool) "detected" true (V.sat_equiv_netlist_aig nl aig = V.Not_equivalent)
+
+let sat_cec_multiplier () =
+  (* BDD-hostile structure; the SAT engine discharges the 5-bit miter. *)
+  let nl = Circuits.Multiplier.generate ~width:5 in
+  let aig = Aigs.Opt.resyn2rs (A.of_netlist nl) in
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let m = Techmap.Mapper.map ml aig in
+  Alcotest.(check bool) "mult5 equivalent" true
+    (V.sat_equiv_netlist_mapped nl m = V.Equivalent)
+
+let sat_cec_budget () =
+  let nl = Circuits.Multiplier.generate ~width:8 in
+  let aig = Aigs.Opt.resyn2rs (A.of_netlist nl) in
+  match V.sat_equiv_netlist_aig ~max_conflicts:50 nl aig with
+  | V.Inconclusive | V.Equivalent -> ()
+  | V.Not_equivalent -> Alcotest.fail "false negative"
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sat"
+    [
+      ( "core",
+        Alcotest.
+          [
+            test_case "basic sat" `Quick basic_sat;
+            test_case "basic unsat" `Quick basic_unsat;
+            test_case "empty clause" `Quick empty_clause;
+            test_case "incremental" `Quick incremental_clauses;
+            test_case "assumptions" `Quick assumptions;
+            test_case "pigeonhole 4" `Quick (fun () -> pigeonhole 4);
+            test_case "pigeonhole 6" `Slow (fun () -> pigeonhole 6);
+            test_case "conflict budget" `Quick conflict_budget;
+          ]
+        @ qt [ planted_random_3sat; unsat_implies_no_model ] );
+      ( "cec",
+        [
+          Alcotest.test_case "positive" `Slow sat_cec_positive;
+          Alcotest.test_case "negative" `Quick sat_cec_negative;
+          Alcotest.test_case "multiplier" `Slow sat_cec_multiplier;
+          Alcotest.test_case "budget inconclusive" `Quick sat_cec_budget;
+        ] );
+    ]

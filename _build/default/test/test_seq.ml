@@ -1,0 +1,216 @@
+module Seq = Nets.Seq
+module N = Nets.Netlist
+module B = Logic.Bitvec
+
+(* A 4-bit synchronous counter: state + 1 every cycle. *)
+let counter () =
+  let t = Seq.create () in
+  let q = Array.init 4 (fun i -> Seq.add_register t (Printf.sprintf "c%d" i) ()) in
+  let one = N.add_node (Seq.comb t) (N.Constant true) [||] in
+  let carry = ref one in
+  Array.iteri
+    (fun i qi ->
+      let sum = N.add_node (Seq.comb t) N.Xor [| qi; !carry |] in
+      carry := N.add_node (Seq.comb t) N.And [| qi; !carry |];
+      Seq.connect t (Printf.sprintf "c%d" i) sum;
+      Seq.add_output t (Printf.sprintf "o%d" i) sum)
+    q;
+  t
+
+let counter_counts () =
+  let t = counter () in
+  let state = ref (Array.make 4 false) in
+  for expected = 1 to 20 do
+    let _, next = Seq.step t ~state:!state ~inputs:[||] in
+    state := next;
+    let v = ref 0 in
+    Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) next;
+    Alcotest.(check int) (Printf.sprintf "cycle %d" expected) (expected land 15) !v
+  done
+
+let unconnected_register_fails () =
+  let t = Seq.create () in
+  let _ = Seq.add_register t "r" () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Seq.registers t);
+       false
+     with Failure _ -> true)
+
+let simulate_matches_step () =
+  (* The 64-stream simulator and the single-step reference must agree on
+     state probabilities for the free-running counter (each bit of a
+     counter has p(1) = 0.5 over time). *)
+  let t = counter () in
+  let sim = Seq.simulate ~cycles:4096 t in
+  let regs = Seq.registers t in
+  List.iter
+    (fun (_, q, _) ->
+      let p = sim.Seq.node_probs.(q) in
+      Alcotest.(check bool) (Printf.sprintf "p=%.3f ~ 0.5" p) true (abs_float (p -. 0.5) < 0.05))
+    regs;
+  (* bit 0 toggles every cycle *)
+  let _, q0, _ = List.hd regs in
+  Alcotest.(check bool) "bit0 toggles every cycle" true
+    (sim.Seq.node_toggles.(q0) > 0.95)
+
+(* ------------------------------------------------------------------ *)
+(* CRC *)
+
+let crc_reference_known_value () =
+  (* CRC-32 of the single byte 0x00 from init 0xFFFFFFFF, no final xor /
+     reflection steps beyond the reflected polynomial itself. *)
+  let data = Array.make 8 false in
+  let r = Circuits.Crc.reference_step 0xFFFFFFFFl ~data in
+  (* Cross-check against an independent table-based computation of the same
+     convention: crc := (crc >> 8) ^ table[(crc ^ byte) & 0xff]. *)
+  let table_entry byte =
+    let c = ref (Int32.of_int byte) in
+    for _ = 1 to 8 do
+      let lsb = Int32.logand !c 1l <> 0l in
+      c := Int32.shift_right_logical !c 1;
+      if lsb then c := Int32.logxor !c Circuits.Crc.crc32_polynomial
+    done;
+    !c
+  in
+  let expected =
+    Int32.logxor (Int32.shift_right_logical 0xFFFFFFFFl 8) (table_entry (0xFF land 0xFF))
+  in
+  Alcotest.(check int32) "one zero byte" expected r
+
+let crc_circuit_matches_reference () =
+  List.iter
+    (fun data_width ->
+      let seq = Circuits.Crc.generate ~data_width () in
+      let rng = Logic.Prng.create 4L in
+      let state = ref 0xFFFFFFFFl in
+      let circuit_state =
+        ref
+          (Array.init 32 (fun i ->
+               Int32.logand (Int32.shift_right_logical 0xFFFFFFFFl i) 1l <> 0l))
+      in
+      for cycle = 1 to 30 do
+        let data = Array.init data_width (fun _ -> Logic.Prng.bool rng) in
+        state := Circuits.Crc.reference_step !state ~data;
+        let outs, next = Seq.step seq ~state:!circuit_state ~inputs:data in
+        circuit_state := next;
+        let got = ref 0l in
+        Array.iteri (fun i b -> if b then got := Int32.logor !got (Int32.shift_left 1l i)) next;
+        Alcotest.(check int32) (Printf.sprintf "w=%d cycle %d" data_width cycle) !state !got;
+        (* outputs expose the next state *)
+        Array.iteri
+          (fun i b -> Alcotest.(check bool) "output = next state" next.(i) b)
+          (Array.sub outs 0 32)
+      done)
+    [ 1; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Register model + Seqmap *)
+
+let register_model_sane () =
+  let amb = Cell.Register.ambipolar_cntfet in
+  let cmos = Cell.Register.cmos in
+  Alcotest.(check bool) "ambipolar smaller" true
+    (amb.Cell.Register.transistors < cmos.Cell.Register.transistors);
+  Alcotest.(check (float 0.0)) "no clk' net in ambipolar" 0.0
+    amb.Cell.Register.clock_internal_cap;
+  Alcotest.(check bool) "cmos clk' net toggles" true
+    (cmos.Cell.Register.clock_internal_cap > 0.0);
+  Alcotest.(check bool) "leakage ordering" true
+    (amb.Cell.Register.leakage < cmos.Cell.Register.leakage)
+
+let seqmap_preserves_function () =
+  (* One mapped cycle must equal one reference cycle for random stimulus. *)
+  let seq = Circuits.Crc.generate ~data_width:4 () in
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let mapped, reg_nets = Techmap.Seqmap.map_seq ml seq in
+  let rng = Logic.Prng.create 6L in
+  let regs = Seq.registers seq in
+  let state = ref (Array.make (List.length regs) false) in
+  for _ = 1 to 20 do
+    let inputs = Array.init 4 (fun _ -> Logic.Prng.bool rng) in
+    let _, expected_next = Seq.step seq ~state:!state ~inputs in
+    (* drive the mapped netlist with the same stimulus *)
+    let stimulus =
+      Array.map
+        (fun (name, _) ->
+          let v = B.create 1 in
+          let value =
+            if String.length name > 2 && String.sub name (String.length name - 2) 2 = ".q"
+            then begin
+              let reg = String.sub name 0 (String.length name - 2) in
+              let rec index i = function
+                | [] -> failwith "missing reg"
+                | (n, _, _) :: rest -> if n = reg then i else index (i + 1) rest
+              in
+              !state.(index 0 regs)
+            end
+            else begin
+              let rec pos i = function
+                | [] -> failwith "missing input"
+                | x :: rest -> if x = name then i else pos (i + 1) rest
+              in
+              inputs.(pos 0 [ "d0"; "d1"; "d2"; "d3" ])
+            end
+          in
+          B.set v 0 value;
+          v)
+        mapped.Techmap.Mapped.pi_nets
+    in
+    let values = Techmap.Mapped.simulate mapped stimulus in
+    List.iteri
+      (fun ri (_, _, d_net) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "reg %d next" ri)
+          expected_next.(ri)
+          (B.get values.(d_net) 0))
+      reg_nets;
+    state := expected_next
+  done
+
+let seqmap_report_sane () =
+  let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+  let r = Techmap.Seqmap.estimate ~cycles:500 ml (Circuits.Crc.generate ~data_width:4 ()) in
+  Alcotest.(check int) "32 registers" 32 r.Techmap.Seqmap.registers;
+  Alcotest.(check bool) "positive total" true (r.Techmap.Seqmap.total > 0.0);
+  Alcotest.(check bool) "clock power positive" true (r.Techmap.Seqmap.clock_power > 0.0);
+  Alcotest.(check bool) "total >= comb" true
+    (r.Techmap.Seqmap.total >= r.Techmap.Seqmap.comb_power.Techmap.Estimate.total);
+  Alcotest.(check bool) "min period > comb delay" true
+    (r.Techmap.Seqmap.min_period > r.Techmap.Seqmap.comb_power.Techmap.Estimate.delay)
+
+let seq_generalized_beats_cmos () =
+  let run lib =
+    Techmap.Seqmap.estimate ~cycles:500 (Techmap.Matchlib.build lib)
+      (Circuits.Crc.generate ~data_width:8 ())
+  in
+  let gen = run Cell.Genlib.generalized_cntfet in
+  let cmos = run Cell.Genlib.cmos in
+  Alcotest.(check bool) "fewer gates" true (gen.Techmap.Seqmap.gates < cmos.Techmap.Seqmap.gates);
+  Alcotest.(check bool) "less energy per cycle" true
+    (gen.Techmap.Seqmap.epc < 0.5 *. cmos.Techmap.Seqmap.epc);
+  Alcotest.(check bool) "faster clock" true
+    (gen.Techmap.Seqmap.min_period *. 4.0 < cmos.Techmap.Seqmap.min_period)
+
+let () =
+  Alcotest.run "seq"
+    [
+      ( "seq-core",
+        [
+          Alcotest.test_case "counter counts" `Quick counter_counts;
+          Alcotest.test_case "unconnected register" `Quick unconnected_register_fails;
+          Alcotest.test_case "simulate matches step" `Quick simulate_matches_step;
+        ] );
+      ( "crc",
+        [
+          Alcotest.test_case "reference known value" `Quick crc_reference_known_value;
+          Alcotest.test_case "circuit matches reference" `Quick crc_circuit_matches_reference;
+        ] );
+      ( "seqmap",
+        [
+          Alcotest.test_case "register model" `Quick register_model_sane;
+          Alcotest.test_case "mapped cycle = reference cycle" `Slow seqmap_preserves_function;
+          Alcotest.test_case "report sane" `Slow seqmap_report_sane;
+          Alcotest.test_case "generalized beats cmos" `Slow seq_generalized_beats_cmos;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+module C = Spice.Circuit
+module D = Spice.Device
+module T = Spice.Tech
+
+let feq ?(eps = 1e-6) msg a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6g ~ %.6g" msg a b)
+    true
+    (abs_float (a -. b) <= eps *. (abs_float a +. abs_float b +. 1e-30))
+
+let resistor_divider () =
+  let c = C.create () in
+  let vdd = C.node c "vdd" and mid = C.node c "mid" in
+  C.add_vsource c vdd 0.9;
+  C.add_resistor c vdd mid 1000.0;
+  C.add_resistor c mid C.ground 1000.0;
+  let sol = C.solve c in
+  feq "midpoint" 0.45 (C.node_voltage sol mid);
+  feq "source current" (0.9 /. 2000.0) (C.source_current c sol vdd)
+
+let nmos_on_pulls_down () =
+  let c = C.create () in
+  let vdd = C.node c "vdd" and out = C.node c "out" and g = C.node c "g" in
+  C.add_vsource c vdd 0.9;
+  C.add_vsource c g 0.9;
+  C.add_resistor c vdd out 1.0e6;
+  C.add_transistor c (D.Nmos T.cmos) ~d:out ~g ~s:C.ground ();
+  let sol = C.solve c in
+  Alcotest.(check bool) "output pulled low" true (C.node_voltage sol out < 0.1)
+
+let nmos_off_leaks_little () =
+  let c = C.create () in
+  let vdd = C.node c "vdd" and g = C.node c "g" in
+  C.add_vsource c vdd 0.9;
+  C.add_vsource c g 0.0;
+  C.add_transistor c (D.Nmos T.cmos) ~d:vdd ~g ~s:C.ground ();
+  let sol = C.solve c in
+  let ioff = C.source_current c sol vdd in
+  (* By calibration the unit off-current is tech.ioff_unit. *)
+  feq ~eps:0.02 "unit ioff" T.cmos.T.ioff_unit ioff
+
+let parallel_off_triples_leakage () =
+  (* Fig. 4(a): three parallel off transistors leak ~3x a single one. *)
+  let leak k =
+    let c = C.create () in
+    let vdd = C.node c "vdd" and g = C.node c "g" in
+    C.add_vsource c vdd 0.9;
+    C.add_vsource c g 0.0;
+    for _ = 1 to k do
+      C.add_transistor c (D.Nmos T.cmos) ~d:vdd ~g ~s:C.ground ()
+    done;
+    let sol = C.solve c in
+    C.source_current c sol vdd
+  in
+  let one = leak 1 and three = leak 3 in
+  feq ~eps:0.02 "3x" (3.0 *. one) three
+
+let series_off_leaks_less () =
+  (* Fig. 4(b): a series stack of three off transistors leaks less than a
+     single off transistor. *)
+  let c = C.create () in
+  let vdd = C.node c "vdd" and g = C.node c "g" in
+  let n1 = C.node c "n1" and n2 = C.node c "n2" in
+  C.add_vsource c vdd 0.9;
+  C.add_vsource c g 0.0;
+  C.add_transistor c (D.Nmos T.cmos) ~d:vdd ~g ~s:n1 ();
+  C.add_transistor c (D.Nmos T.cmos) ~d:n1 ~g ~s:n2 ();
+  C.add_transistor c (D.Nmos T.cmos) ~d:n2 ~g ~s:C.ground ();
+  let sol = C.solve c in
+  let stack = C.source_current c sol vdd in
+  Alcotest.(check bool)
+    (Printf.sprintf "stack %.3g < unit %.3g" stack T.cmos.T.ioff_unit)
+    true
+    (stack < T.cmos.T.ioff_unit && stack > 0.0)
+
+let pmos_symmetry () =
+  (* An off PMOS (gate at VDD, source at VDD, drain at 0) should show the
+     same unit leakage as the off NMOS by construction. *)
+  let c = C.create () in
+  let vdd = C.node c "vdd" and g = C.node c "g" in
+  C.add_vsource c vdd 0.9;
+  C.add_vsource c g 0.9;
+  C.add_transistor c (D.Pmos T.cmos) ~d:C.ground ~g ~s:vdd ();
+  let sol = C.solve c in
+  let ioff = C.source_current c sol vdd in
+  feq ~eps:0.02 "pmos unit ioff" T.cmos.T.ioff_unit ioff
+
+let cmos_inverter_transfer () =
+  let out_for vin =
+    let c = C.create () in
+    let vdd = C.node c "vdd" and input = C.node c "in" and out = C.node c "out" in
+    C.add_vsource c vdd 0.9;
+    C.add_vsource c input vin;
+    C.add_transistor c (D.Pmos T.cmos) ~d:out ~g:input ~s:vdd ();
+    C.add_transistor c (D.Nmos T.cmos) ~d:out ~g:input ~s:C.ground ();
+    let sol = C.solve c in
+    C.node_voltage sol out
+  in
+  Alcotest.(check bool) "inverts 0" true (out_for 0.0 > 0.85);
+  Alcotest.(check bool) "inverts 1" true (out_for 0.9 < 0.05)
+
+let ambipolar_polarity_control () =
+  (* PG = 0 -> n-type: conducts with gate high. PG = VDD -> p-type: conducts
+     with gate low. (Fig. 1 of the paper.) The n-configured device is used
+     as a pull-down against a resistive pull-up; the p-configured device as
+     a pull-up against a resistive pull-down — each in its "good
+     transmission" role. *)
+  let pulldown_out ~vpg ~vg =
+    let c = C.create () in
+    let vdd = C.node c "vdd" and out = C.node c "out" in
+    let g = C.node c "g" and pg = C.node c "pg" in
+    C.add_vsource c vdd 0.9;
+    C.add_vsource c g vg;
+    C.add_vsource c pg vpg;
+    C.add_resistor c vdd out 1.0e6;
+    C.add_transistor c (D.Ambipolar T.cntfet) ~d:out ~g ~s:C.ground ~pg ();
+    let sol = C.solve c in
+    C.node_voltage sol out
+  in
+  let pullup_out ~vpg ~vg =
+    let c = C.create () in
+    let vdd = C.node c "vdd" and out = C.node c "out" in
+    let g = C.node c "g" and pg = C.node c "pg" in
+    C.add_vsource c vdd 0.9;
+    C.add_vsource c g vg;
+    C.add_vsource c pg vpg;
+    C.add_resistor c out C.ground 1.0e6;
+    C.add_transistor c (D.Ambipolar T.cntfet) ~d:out ~g ~s:vdd ~pg ();
+    let sol = C.solve c in
+    C.node_voltage sol out
+  in
+  Alcotest.(check bool) "n-type on" true (pulldown_out ~vpg:0.0 ~vg:0.9 < 0.1);
+  Alcotest.(check bool) "n-type off" true (pulldown_out ~vpg:0.0 ~vg:0.0 > 0.8);
+  Alcotest.(check bool) "p-type on" true (pullup_out ~vpg:0.9 ~vg:0.0 > 0.8);
+  Alcotest.(check bool) "p-type off" true (pullup_out ~vpg:0.9 ~vg:0.9 < 0.1)
+
+let transmission_gate_full_swing () =
+  (* E7 / Fig. 2: the ambipolar transmission gate passes the input rail
+     without degradation whenever A xor B = 1. Drive a strong source
+     through the gate into a weak load and check the output. *)
+  let pass ~va ~vb ~vin =
+    let c = C.create () in
+    let src = C.node c "src" and out = C.node c "out" in
+    let a = C.node c "a" and na = C.node c "na" in
+    let b = C.node c "b" and nb = C.node c "nb" in
+    C.add_vsource c src vin;
+    C.add_vsource c a va;
+    C.add_vsource c na (0.9 -. va);
+    C.add_vsource c b vb;
+    C.add_vsource c nb (0.9 -. vb);
+    (* Device 1: polarity gate A, signal gate B; device 2: complements. *)
+    C.add_transistor c (D.Ambipolar T.cntfet) ~d:src ~g:b ~s:out ~pg:a ();
+    C.add_transistor c (D.Ambipolar T.cntfet) ~d:src ~g:nb ~s:out ~pg:na ();
+    C.add_resistor c out C.ground 1.0e8;
+    let sol = C.solve c in
+    C.node_voltage sol out
+  in
+  (* Passing configurations: A xor B = 1. *)
+  Alcotest.(check bool) "A=1,B=0 passes 1" true (pass ~va:0.9 ~vb:0.0 ~vin:0.9 > 0.85);
+  Alcotest.(check bool) "A=0,B=1 passes 1" true (pass ~va:0.0 ~vb:0.9 ~vin:0.9 > 0.85);
+  Alcotest.(check bool) "A=1,B=0 passes 0" true (pass ~va:0.9 ~vb:0.0 ~vin:0.0 < 0.05);
+  (* Blocking configurations: A xor B = 0 -> output floats to the weak
+     pulldown. *)
+  Alcotest.(check bool) "A=B=0 blocks" true (pass ~va:0.0 ~vb:0.0 ~vin:0.9 < 0.2);
+  Alcotest.(check bool) "A=B=1 blocks" true (pass ~va:0.9 ~vb:0.9 ~vin:0.9 < 0.2)
+
+let cntfet_leaks_less_than_cmos () =
+  let leak tech =
+    let c = C.create () in
+    let vdd = C.node c "vdd" and g = C.node c "g" in
+    C.add_vsource c vdd 0.9;
+    C.add_vsource c g 0.0;
+    C.add_transistor c (D.Nmos tech) ~d:vdd ~g ~s:C.ground ();
+    let sol = C.solve c in
+    C.source_current c sol vdd
+  in
+  let ratio = leak T.cmos /. leak T.cntfet in
+  Alcotest.(check bool)
+    (Printf.sprintf "cmos/cnt leakage ratio %.1f ~ 1 order of magnitude" ratio)
+    true
+    (ratio > 8.0 && ratio < 30.0)
+
+(* ------------------------------------------------------------------ *)
+(* Transient *)
+
+let step_stimulus_shape () =
+  let s = Spice.Transient.step ~t0:1e-12 ~rise:2e-12 ~low:0.0 ~high:0.9 () in
+  feq "before" 0.0 (s 0.0);
+  feq "midpoint" 0.45 (s 2e-12);
+  feq "after" 0.9 (s 5e-12)
+
+let crossing_detection () =
+  let w =
+    {
+      Spice.Transient.times = [| 0.0; 1.0; 2.0; 3.0 |];
+      voltages = [| 0.0; 0.2; 0.6; 0.9 |];
+    }
+  in
+  (match Spice.Transient.crossing_time w 0.4 `Rising with
+  | Some t -> feq "interpolated" 1.5 t
+  | None -> Alcotest.fail "expected crossing");
+  Alcotest.(check bool) "no falling crossing" true
+    (Spice.Transient.crossing_time w 0.4 `Falling = None)
+
+let rc_discharge_timeconstant () =
+  (* A capacitor through a resistor to ground discharges with tau = RC. *)
+  let c = C.create () in
+  let top = C.node c "top" in
+  let src = C.node c "src" in
+  let r = 1.0e5 and cap = 1.0e-15 in
+  (* src --R--> top(C): stepping src down discharges the cap with tau = RC. *)
+  C.add_resistor c src top r;
+  let stim = Spice.Transient.step ~t0:5.0e-12 ~rise:0.1e-12 ~low:0.9 ~high:0.0 () in
+  let waves =
+    Spice.Transient.simulate c ~caps:[ (top, cap) ] ~drives:[ (src, stim) ]
+      ~tstop:600.0e-12 ~samples:2000 [ top ]
+  in
+  let w = List.assoc top waves in
+  (* After one time constant (RC = 100 ps) past the edge the voltage should
+     be ~0.9/e = 0.331. *)
+  let expected_t = 5.0e-12 +. (r *. cap) in
+  match Spice.Transient.crossing_time w (0.9 /. 2.718281828) `Falling with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tau: got %.1f ps, expected %.1f ps" (t *. 1e12) (expected_t *. 1e12))
+        true
+        (abs_float (t -. expected_t) < 0.1 *. expected_t)
+  | None -> Alcotest.fail "no crossing"
+
+let inverter_delays_match_tau () =
+  let d_cmos = Spice.Transient.inverter_delay T.cmos in
+  let d_cnt = Spice.Transient.inverter_delay T.cntfet in
+  Alcotest.(check bool)
+    (Printf.sprintf "cmos %.2f ps ~ tau %.2f ps" (d_cmos *. 1e12) (T.cmos.T.tau *. 1e12))
+    true
+    (abs_float (d_cmos -. T.cmos.T.tau) < 0.25 *. T.cmos.T.tau);
+  Alcotest.(check bool)
+    (Printf.sprintf "cnt %.2f ps ~ tau %.2f ps" (d_cnt *. 1e12) (T.cntfet.T.tau *. 1e12))
+    true
+    (abs_float (d_cnt -. T.cntfet.T.tau) < 0.25 *. T.cntfet.T.tau);
+  let ratio = d_cmos /. d_cnt in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f ~ 5x" ratio)
+    true
+    (ratio > 4.0 && ratio < 6.5)
+
+let () =
+  Alcotest.run "spice"
+    [
+      ( "dcsolve",
+        [
+          Alcotest.test_case "resistor divider" `Quick resistor_divider;
+          Alcotest.test_case "nmos on pulls down" `Quick nmos_on_pulls_down;
+          Alcotest.test_case "nmos off unit leakage" `Quick nmos_off_leaks_little;
+          Alcotest.test_case "parallel off = 3x" `Quick parallel_off_triples_leakage;
+          Alcotest.test_case "series off < 1x" `Quick series_off_leaks_less;
+          Alcotest.test_case "pmos symmetry" `Quick pmos_symmetry;
+          Alcotest.test_case "cmos inverter transfer" `Quick cmos_inverter_transfer;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "step stimulus" `Quick step_stimulus_shape;
+          Alcotest.test_case "crossing detection" `Quick crossing_detection;
+          Alcotest.test_case "rc time constant" `Quick rc_discharge_timeconstant;
+          Alcotest.test_case "inverter delay ~ tau, ratio ~ 5x" `Slow inverter_delays_match_tau;
+        ] );
+      ( "ambipolar",
+        [
+          Alcotest.test_case "polarity control" `Quick ambipolar_polarity_control;
+          Alcotest.test_case "transmission gate full swing" `Quick transmission_gate_full_swing;
+          Alcotest.test_case "cntfet leaks less" `Quick cntfet_leaks_less_than_cmos;
+        ] );
+    ]
