@@ -2,10 +2,18 @@
 
    Subcommands map one-to-one onto the experiments of DESIGN.md:
    table1, libchar, patterns, tgate, delay, dynamic, pla, seq, sensitivity,
-   ablations, synth, genlib, and `all`, which reproduces every table and
-   headline figure. *)
+   ablations, synth, genlib, check, and `all`, which reproduces every table
+   and headline figure through the fault-isolating experiment harness.
+
+   Exit codes (documented in README.md): 0 success; 10 `all --keep-going`
+   completed with failures; 11 `all --strict` aborted at the first failure;
+   12-27 a typed Cnt_error escaped a single-experiment command (one code
+   per error class, see Runtime.Cnt_error.exit_code); 124/125 cmdliner
+   errors. *)
 
 let std = Format.std_formatter
+
+module R = Runtime.Cnt_error
 
 open Cmdliner
 
@@ -16,6 +24,10 @@ let patterns_arg =
 let circuit_arg =
   let doc = "Benchmark circuit name (Table 1 row), e.g. C6288." in
   Arg.(value & opt string "C6288" & info [ "c"; "circuit" ] ~doc)
+
+(* All commands evaluate to an exit code so `all` can report partial
+   failure distinctly from success. *)
+let ok0 run = Term.(const (fun () -> run (); 0) $ const ())
 
 let run_table1 patterns only =
   let circuits =
@@ -33,71 +45,72 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (synthesis, mapping, power, EDP).")
-    Term.(const run_table1 $ patterns_arg $ only)
+    Term.(const (fun patterns only -> run_table1 patterns only; 0) $ patterns_arg $ only)
 
 let libchar_cmd =
   Cmd.v
     (Cmd.info "libchar"
        ~doc:"Reproduce the library characterization (E2, E4, E5, E6).")
-    Term.(const (fun () -> Experiments.Exp_libchar.print std (Experiments.Exp_libchar.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_libchar.print std (Experiments.Exp_libchar.run ())))
 
 let patterns_cmd =
   Cmd.v
     (Cmd.info "patterns" ~doc:"Reproduce the I_off pattern census (E3, E8, A1).")
-    Term.(const (fun () -> Experiments.Exp_patterns.print std (Experiments.Exp_patterns.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_patterns.print std (Experiments.Exp_patterns.run ())))
 
 let tgate_cmd =
   Cmd.v
     (Cmd.info "tgate" ~doc:"Reproduce the transmission-gate transfer study (E7, Fig. 2).")
-    Term.(const (fun () -> Experiments.Exp_tgate.print std (Experiments.Exp_tgate.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_tgate.print std (Experiments.Exp_tgate.run ())))
 
 let delay_cmd =
   Cmd.v
     (Cmd.info "delay"
        ~doc:"Measure intrinsic inverter delays by transient analysis (E9).")
-    Term.(const (fun () -> Experiments.Exp_delay.print std (Experiments.Exp_delay.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_delay.print std (Experiments.Exp_delay.run ())))
 
 let dynamic_cmd =
   Cmd.v
     (Cmd.info "dynamic"
        ~doc:"Dynamic / reconfigurable ambipolar cells study (E10, extension).")
-    Term.(const (fun () -> Experiments.Exp_dynamic.print std (Experiments.Exp_dynamic.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_dynamic.print std (Experiments.Exp_dynamic.run ())))
 
 let pla_cmd =
   Cmd.v
     (Cmd.info "pla"
        ~doc:"In-field programmable ambipolar PLA study (E11, extension).")
-    Term.(const (fun () -> Experiments.Exp_pla.print std (Experiments.Exp_pla.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_pla.print std (Experiments.Exp_pla.run ())))
 
 let seq_cmd =
   Cmd.v
     (Cmd.info "seq"
        ~doc:"Clocked CRC engine with registers and clock tree (E12, extension).")
-    Term.(const (fun () -> Experiments.Exp_seq.print std (Experiments.Exp_seq.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_seq.print std (Experiments.Exp_seq.run ())))
 
 let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Supply/temperature/variation sensitivity studies (E13-E15, extension).")
-    Term.(const (fun () -> Experiments.Exp_sensitivity.print std (Experiments.Exp_sensitivity.run ())) $ const ())
+    (ok0 (fun () -> Experiments.Exp_sensitivity.print std (Experiments.Exp_sensitivity.run ())))
 
 let ablations_cmd =
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the A2-A5 ablations on the multiplier.")
-    Term.(const (fun () -> Experiments.Ablations.print std ()) $ const ())
+    (ok0 (fun () -> Experiments.Ablations.print std ()))
 
 let run_synth circuit patterns =
   let entry = Circuits.Suite.find circuit in
   let nl = entry.Circuits.Suite.generate () in
+  let wf = Nets.Check.check_exn nl in
   let aig = Aigs.Aig.of_netlist nl in
-  Format.fprintf std "%s (%s): %a@." entry.Circuits.Suite.name
-    entry.Circuits.Suite.description Aigs.Aig.pp_stats aig;
+  Format.fprintf std "%s (%s): %a [%a]@." entry.Circuits.Suite.name
+    entry.Circuits.Suite.description Aigs.Aig.pp_stats aig Nets.Check.pp_report wf;
   let opt = Aigs.Opt.resyn2rs aig in
   Format.fprintf std "after resyn2rs: %a@." Aigs.Aig.pp_stats opt;
   List.iter
     (fun lib ->
       let ml = Techmap.Matchlib.build lib in
-      let mapped = Techmap.Mapper.map ml opt in
+      let mapped = R.get_exn (Techmap.Mapper.map_checked ml opt) in
       let ok = Techmap.Mapped.check mapped nl ~patterns:512 ~seed:4L in
       Format.fprintf std "@.%a (verified: %b)@." Techmap.Mapped.pp_stats mapped ok;
       List.iter
@@ -113,7 +126,7 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize and map one benchmark with all three libraries, with details.")
-    Term.(const run_synth $ circuit_arg $ patterns_arg)
+    Term.(const (fun c p -> run_synth c p; 0) $ circuit_arg $ patterns_arg)
 
 let genlib_cmd =
   let run () =
@@ -125,24 +138,128 @@ let genlib_cmd =
   in
   Cmd.v
     (Cmd.info "genlib" ~doc:"Dump the three mapping libraries in genlib syntax.")
-    Term.(const run $ const ())
+    (ok0 run)
 
-let all_cmd =
-  let run patterns =
-    Experiments.Exp_libchar.print std (Experiments.Exp_libchar.run ());
-    Experiments.Exp_patterns.print std (Experiments.Exp_patterns.run ());
-    Experiments.Exp_tgate.print std (Experiments.Exp_tgate.run ());
-    Experiments.Exp_delay.print std (Experiments.Exp_delay.run ());
-    Experiments.Exp_dynamic.print std (Experiments.Exp_dynamic.run ());
-    Experiments.Exp_pla.print std (Experiments.Exp_pla.run ());
-    Experiments.Exp_seq.print std (Experiments.Exp_seq.run ());
-    Experiments.Exp_sensitivity.print std (Experiments.Exp_sensitivity.run ());
-    run_table1 patterns [];
-    Experiments.Ablations.print std ()
+(* BLIF pipeline used by `check` and by `all --with-blif`: parse, validate
+   well-formedness, synthesize, map and estimate. Every failure is a typed
+   error. *)
+let run_blif_pipeline ppf ~patterns path =
+  let nl = R.get_exn (Nets.Blif.parse_file path) in
+  let wf = Nets.Check.check_exn nl in
+  Format.fprintf ppf "%s: %a [%a]@." path Nets.Netlist.pp_stats nl
+    Nets.Check.pp_report wf;
+  let aig = Aigs.Aig.of_netlist nl in
+  let opt = Aigs.Opt.resyn2rs aig in
+  List.iter
+    (fun lib ->
+      let ml = Techmap.Matchlib.build lib in
+      let mapped = R.get_exn (Techmap.Mapper.map_checked ml opt) in
+      let report = Techmap.Estimate.run ~patterns mapped in
+      Format.fprintf ppf "  %-20s %a@." lib.Cell.Genlib.name
+        Techmap.Estimate.pp_report report)
+    Cell.Genlib.all_libraries
+
+let check_cmd =
+  let file =
+    let doc = "BLIF file to parse, validate and map." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file patterns =
+    run_blif_pipeline std ~patterns file;
+    0
   in
   Cmd.v
-    (Cmd.info "all" ~doc:"Run every experiment (E1-E8 and the ablations).")
-    Term.(const run $ patterns_arg)
+    (Cmd.info "check"
+       ~doc:
+         "Parse a BLIF netlist, run the well-formedness checker and map it. \
+          Malformed input exits non-zero with a typed error, never a \
+          backtrace.")
+    Term.(const run $ file $ patterns_arg)
+
+let mode_arg =
+  let keep_going =
+    ( Experiments.Harness.Keep_going,
+      Arg.info [ "keep-going" ]
+        ~doc:
+          "Run every experiment even if one fails; collect failures into the \
+           final summary and exit 10 if any failed (default)." )
+  in
+  let strict =
+    ( Experiments.Harness.Strict,
+      Arg.info [ "strict" ]
+        ~doc:"Abort at the first failing experiment and exit 11." )
+  in
+  Arg.(value & vflag Experiments.Harness.Keep_going [ keep_going; strict ])
+
+let all_cmd =
+  let only_arg =
+    let doc = "Run only the named experiments (repeatable); see the list in each entry name." in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME" ~doc)
+  in
+  let with_blif_arg =
+    let doc =
+      "Additionally run the BLIF pipeline (parse, well-formedness check, map, \
+       estimate) on $(docv) as an experiment named blif:<basename> \
+       (repeatable). Used by the fault-injection smoke tests."
+    in
+    Arg.(value & opt_all string [] & info [ "with-blif" ] ~docv:"FILE" ~doc)
+  in
+  let run patterns mode only with_blifs =
+    let entry = Experiments.Harness.entry in
+    let entries =
+      [
+        entry "libchar" "library characterization (E2, E4-E6)" (fun ppf ->
+            Experiments.Exp_libchar.print ppf (Experiments.Exp_libchar.run ()));
+        entry "patterns" "I_off pattern census (E3, E8, A1)" (fun ppf ->
+            Experiments.Exp_patterns.print ppf (Experiments.Exp_patterns.run ()));
+        entry "tgate" "transmission-gate transfer study (E7)" (fun ppf ->
+            Experiments.Exp_tgate.print ppf (Experiments.Exp_tgate.run ()));
+        entry "delay" "intrinsic inverter delays (E9)" (fun ppf ->
+            Experiments.Exp_delay.print ppf (Experiments.Exp_delay.run ()));
+        entry "dynamic" "dynamic / reconfigurable cells (E10)" (fun ppf ->
+            Experiments.Exp_dynamic.print ppf (Experiments.Exp_dynamic.run ()));
+        entry "pla" "programmable ambipolar PLA (E11)" (fun ppf ->
+            Experiments.Exp_pla.print ppf (Experiments.Exp_pla.run ()));
+        entry "seq" "clocked CRC engine (E12)" (fun ppf ->
+            Experiments.Exp_seq.print ppf (Experiments.Exp_seq.run ()));
+        entry "sensitivity" "supply/temperature/variation (E13-E15)" (fun ppf ->
+            Experiments.Exp_sensitivity.print ppf (Experiments.Exp_sensitivity.run ()));
+        entry "table1" "Table 1 reproduction (E1)" (fun ppf ->
+            let summary = Experiments.Exp_table1.run ~patterns () in
+            Experiments.Exp_table1.print ppf summary);
+        entry "ablations" "A2-A5 ablations" (fun ppf ->
+            Experiments.Ablations.print ppf ());
+      ]
+      @ List.map
+          (fun path ->
+            entry
+              ("blif:" ^ Filename.basename path)
+              ("external BLIF pipeline on " ^ path)
+              (fun ppf -> run_blif_pipeline ppf ~patterns path))
+          with_blifs
+    in
+    let entries =
+      match only with
+      | [] -> entries
+      | names ->
+          List.filter (fun (e : Experiments.Harness.entry) -> List.mem e.name names) entries
+    in
+    if entries = [] then begin
+      Format.eprintf "cntpower all: no experiment matches the --only filter@.";
+      R.exit_code (R.make R.Cli R.Validation_error "empty experiment selection")
+    end
+    else begin
+      let summary = Experiments.Harness.run_all ~mode std entries in
+      Experiments.Harness.print_summary std summary;
+      Experiments.Harness.exit_status summary
+    end
+  in
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:
+         "Run every experiment (E1-E15 and the ablations) through the \
+          fault-isolating harness, with a final pass/fail summary.")
+    Term.(const run $ patterns_arg $ mode_arg $ only_arg $ with_blif_arg)
 
 let main =
   Cmd.group
@@ -152,7 +269,19 @@ let main =
           technology (DATE 2010) - reproduction harness.")
     [
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
-      pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd; all_cmd;
+      pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
+      check_cmd; all_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* Every failure leaves through a typed error: Cnt_error carries its own
+   exit code; anything else is wrapped (never a bare backtrace). *)
+let () =
+  match Cmd.eval' ~catch:false main with
+  | code -> exit code
+  | exception R.Error e ->
+      Format.eprintf "cntpower: %a@." R.pp e;
+      exit (R.exit_code e)
+  | exception exn ->
+      let e = R.of_exn ~stage:R.Cli exn in
+      Format.eprintf "cntpower: %a@." R.pp e;
+      exit (R.exit_code e)

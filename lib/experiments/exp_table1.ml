@@ -16,6 +16,10 @@ let run ?(patterns = E.default_patterns) ?(circuits = Circuits.Suite.all) ?(veri
     List.map
       (fun (entry : Circuits.Suite.entry) ->
         let nl = entry.Circuits.Suite.generate () in
+        (* Well-formedness gate before mapping: a malformed generator output
+           fails here with a typed netlist/* error instead of surfacing as a
+           cryptic mapper crash. *)
+        let (_ : Nets.Check.report) = Nets.Check.check_exn nl in
         let aig = A.of_netlist nl in
         let opt = Aigs.Opt.resyn2rs aig in
         let results =
@@ -24,9 +28,12 @@ let run ?(patterns = E.default_patterns) ?(circuits = Circuits.Suite.all) ?(veri
               let mapped = Techmap.Mapper.map ml opt in
               if verify && not (Techmap.Mapped.check mapped nl ~patterns:512 ~seed:99L)
               then
-                failwith
-                  (Printf.sprintf "Table1: %s mapped with %s is not equivalent"
-                     entry.Circuits.Suite.name lib.G.name);
+                Runtime.Cnt_error.failf
+                  ~context:
+                    [ ("circuit", entry.Circuits.Suite.name); ("library", lib.G.name) ]
+                  Runtime.Cnt_error.Techmap Runtime.Cnt_error.Mismatch
+                  "Table1: %s mapped with %s is not equivalent"
+                  entry.Circuits.Suite.name lib.G.name;
               (lib.G.name, E.run ~patterns mapped))
             matchlibs
         in

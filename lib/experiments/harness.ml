@@ -1,0 +1,64 @@
+module E = Runtime.Cnt_error
+
+type mode = Keep_going | Strict
+
+type status = Passed of float | Failed of float * E.t | Skipped
+
+type entry = { name : string; doc : string; run : Format.formatter -> unit }
+
+type summary = { mode : mode; results : (string * status) list; aborted : bool }
+
+let entry name doc run = { name; doc; run }
+
+let run_one ppf e =
+  Format.fprintf ppf "@.=== %s: %s ===@." e.name e.doc;
+  let t0 = Sys.time () in
+  match E.protect ~stage:E.Experiment (fun () -> e.run ppf) with
+  | Ok () -> Passed (Sys.time () -. t0)
+  | Result.Error err ->
+      let err = E.with_context err [ ("experiment", e.name) ] in
+      Format.fprintf ppf "FAILED %s: %a@." e.name E.pp err;
+      Failed (Sys.time () -. t0, err)
+
+let run_all ~mode ppf entries =
+  let aborted = ref false in
+  let results =
+    List.map
+      (fun e ->
+        if !aborted then (e.name, Skipped)
+        else
+          let status = run_one ppf e in
+          (match (status, mode) with
+          | Failed _, Strict -> aborted := true
+          | _ -> ());
+          (e.name, status))
+      entries
+  in
+  { mode; results; aborted = !aborted }
+
+let failures s =
+  List.filter_map
+    (fun (name, st) -> match st with Failed (_, e) -> Some (name, e) | _ -> None)
+    s.results
+
+let print_summary ppf s =
+  Format.fprintf ppf "@.--- experiment summary ---@.";
+  List.iter
+    (fun (name, st) ->
+      match st with
+      | Passed dt -> Format.fprintf ppf "ok      %-14s %6.1fs@." name dt
+      | Failed (dt, e) -> Format.fprintf ppf "FAILED  %-14s %6.1fs  %a@." name dt E.pp e
+      | Skipped -> Format.fprintf ppf "skipped %-14s (strict mode abort)@." name)
+    s.results;
+  let failed = List.length (failures s) in
+  let passed =
+    List.length (List.filter (fun (_, st) -> match st with Passed _ -> true | _ -> false) s.results)
+  in
+  let skipped =
+    List.length (List.filter (fun (_, st) -> st = Skipped) s.results)
+  in
+  Format.fprintf ppf "%d passed, %d failed%s@." passed failed
+    (if skipped > 0 then Printf.sprintf ", %d skipped" skipped else "")
+
+let exit_status s =
+  if failures s = [] then 0 else if s.aborted then 11 else 10

@@ -1,0 +1,36 @@
+(** Isolated experiment execution with failure collection.
+
+    [cntpower all] runs every experiment through this harness: each
+    experiment executes in isolation, any escaping exception is converted
+    to a typed {!Runtime.Cnt_error.t}, and a final summary reports which
+    experiments passed, which failed and why. In [Keep_going] mode (the
+    default) a failure does not stop the remaining experiments; in
+    [Strict] mode the run aborts at the first failure. *)
+
+type mode = Keep_going | Strict
+
+type status =
+  | Passed of float  (** CPU seconds *)
+  | Failed of float * Runtime.Cnt_error.t
+  | Skipped  (** not run because a [Strict] run aborted earlier *)
+
+type entry = { name : string; doc : string; run : Format.formatter -> unit }
+
+type summary = { mode : mode; results : (string * status) list; aborted : bool }
+
+val entry : string -> string -> (Format.formatter -> unit) -> entry
+
+val run_all : mode:mode -> Format.formatter -> entry list -> summary
+(** Announces each experiment on [ppf], runs it, and records the outcome.
+    Never raises: failures (including [Failure]/[Invalid_argument] from
+    unhardened code paths) are captured as typed errors. *)
+
+val failures : summary -> (string * Runtime.Cnt_error.t) list
+
+val print_summary : Format.formatter -> summary -> unit
+(** One line per experiment plus a pass/fail count; failed experiments show
+    their stage/code and context. *)
+
+val exit_status : summary -> int
+(** [0] all passed; [10] completed with failures ([Keep_going]); [11]
+    aborted at the first failure ([Strict]). *)

@@ -1,10 +1,19 @@
 module T = Logic.Truthtable
+module E = Runtime.Cnt_error
 
-exception Parse_error of string
+let stage = E.Netlist
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let err ?(context = []) ~line code fmt =
+  Format.kasprintf
+    (fun message ->
+      Result.Error
+        (E.make
+           ~context:(("line", string_of_int line) :: context)
+           stage code message))
+    fmt
 
-(* Logical lines: backslash continuations joined, comments stripped. *)
+(* Logical lines with the 1-based number of their first physical line:
+   backslash continuations joined, comments stripped. *)
 let logical_lines text =
   let raw = String.split_on_char '\n' text in
   let strip_comment line =
@@ -12,125 +21,293 @@ let logical_lines text =
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let rec join acc pending = function
-    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+  let rec join acc start pending lineno = function
+    | [] -> List.rev (if pending = "" then acc else (start, pending) :: acc)
     | line :: rest ->
+        let lineno = lineno + 1 in
         let line = strip_comment line in
         let line = String.trim line in
-        if line = "" then join (if pending = "" then acc else pending :: acc) "" rest
-        else if String.length line > 0 && line.[String.length line - 1] = '\\' then
-          join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
-        else join ((pending ^ line) :: acc) "" rest
+        if line = "" then
+          join (if pending = "" then acc else (start, pending) :: acc) 0 "" lineno rest
+        else begin
+          let start = if pending = "" then lineno else start in
+          if line.[String.length line - 1] = '\\' then
+            join acc start
+              (pending ^ String.sub line 0 (String.length line - 1) ^ " ")
+              lineno rest
+          else join ((start, pending ^ line) :: acc) 0 "" lineno rest
+        end
   in
-  join [] "" raw
+  join [] 0 "" 0 raw
 
 let tokens line =
   String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
-type names_block = { ins : string list; out : string; cover : (string * char) list }
+type names_block = { line : int; ins : string list; out : string; cover : (string * char) list }
 (* cover: (input pattern, output char) rows *)
 
-let read_string text =
+(* Scan the token stream into declarations and .names blocks, enforcing the
+   textual well-formedness rules (single model, terminated file, no
+   duplicate drivers). Structural rules (loops, undriven signals) are
+   checked on the resulting block graph. *)
+let scan_blocks text =
+  let ( let* ) = Result.bind in
   let lines = logical_lines text in
+  let last_line = List.fold_left (fun _ (n, _) -> n) 0 lines in
   let inputs = ref [] and outputs = ref [] and blocks = ref [] in
+  let model = ref None in
+  let driver_line : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let ended = ref false in
   let rec scan = function
-    | [] -> ()
-    | line :: rest -> (
-        match tokens line with
-        | ".model" :: _ | ".end" :: _ -> scan rest
+    | [] ->
+        if !ended then Ok ()
+        else
+          err ~line:last_line E.Parse_error
+            "truncated BLIF: missing .end directive"
+    | (line, _) :: _ when !ended ->
+        err ~line E.Parse_error "content after .end"
+    | (line, text) :: rest -> (
+        match tokens text with
+        | ".model" :: name -> (
+            let name = String.concat " " name in
+            match !model with
+            | None ->
+                model := Some name;
+                scan rest
+            | Some first ->
+                err
+                  ~context:[ ("first_model", first); ("duplicate_model", name) ]
+                  ~line E.Parse_error
+                  "duplicate .model directive (multi-model BLIF is not \
+                   supported)")
+        | ".end" :: _ ->
+            ended := true;
+            scan rest
         | ".inputs" :: names ->
+            let* () =
+              List.fold_left
+                (fun acc name ->
+                  let* () = acc in
+                  if Hashtbl.mem driver_line name then
+                    err
+                      ~context:[ ("net", name) ]
+                      ~line E.Multiply_driven_net "duplicate input %S" name
+                  else begin
+                    Hashtbl.replace driver_line name line;
+                    Ok ()
+                  end)
+                (Ok ()) names
+            in
             inputs := !inputs @ names;
             scan rest
         | ".outputs" :: names ->
             outputs := !outputs @ names;
             scan rest
-        | ".names" :: signals ->
-            (match List.rev signals with
-            | [] -> fail ".names with no signals"
+        | ".names" :: signals -> (
+            match List.rev signals with
+            | [] -> err ~line E.Parse_error ".names with no signals"
             | out :: rev_ins ->
+                let* () =
+                  match Hashtbl.find_opt driver_line out with
+                  | Some first ->
+                      err
+                        ~context:
+                          [ ("net", out); ("first_driver_line", string_of_int first) ]
+                        ~line E.Multiply_driven_net "net %S driven twice" out
+                  | None ->
+                      Hashtbl.replace driver_line out line;
+                      Ok ()
+                in
                 let ins = List.rev rev_ins in
                 let rec take_cover acc = function
-                  | row :: more when String.length row > 0 && row.[0] <> '.' -> (
+                  | (row_line, row) :: more
+                    when String.length row > 0 && row.[0] <> '.' -> (
                       match tokens row with
                       | [ pat; v ] when ins <> [] && String.length v = 1 ->
                           take_cover ((pat, v.[0]) :: acc) more
                       | [ v ] when ins = [] && String.length v = 1 ->
                           take_cover (("", v.[0]) :: acc) more
-                      | _ -> fail "bad cover row %S" row)
-                  | remaining -> (List.rev acc, remaining)
+                      | _ ->
+                          Result.Error (row_line, Printf.sprintf "bad cover row %S" row))
+                  | remaining -> Ok (List.rev acc, remaining)
                 in
-                let cover, remaining = take_cover [] rest in
-                blocks := { ins; out; cover } :: !blocks;
+                let* cover, remaining =
+                  match take_cover [] rest with
+                  | Ok x -> Ok x
+                  | Result.Error (row_line, msg) ->
+                      err ~line:row_line E.Parse_error "%s" msg
+                in
+                blocks := { line; ins; out; cover } :: !blocks;
                 scan remaining)
         | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
-            fail "unsupported BLIF directive %S" directive
-        | _ -> fail "unexpected line %S" line)
+            err ~line E.Unsupported "unsupported BLIF directive %S" directive
+        | _ -> err ~line E.Parse_error "unexpected line %S" text)
   in
-  scan lines;
-  let blocks = List.rev !blocks in
+  let* () = scan lines in
+  Ok (!inputs, !outputs, List.rev !blocks)
+
+let build_block t ids b =
+  let ( let* ) = Result.bind in
+  let k = List.length b.ins in
+  let* () =
+    if k > 16 then
+      err ~line:b.line ~context:[ ("net", b.out) ] E.Unsupported
+        ".names with %d inputs (max 16)" k
+    else Ok ()
+  in
+  let on_output_one = List.for_all (fun (_, v) -> v = '1') b.cover in
+  let rows =
+    if on_output_one then b.cover else List.filter (fun (_, v) -> v = '0') b.cover
+  in
+  let* () =
+    if (not on_output_one) && List.exists (fun (_, v) -> v = '1') b.cover then
+      err ~line:b.line ~context:[ ("net", b.out) ] E.Parse_error
+        "mixed 0/1 cover for %s" b.out
+    else Ok ()
+  in
+  let cube_of pat =
+    if String.length pat <> k then
+      err ~line:b.line ~context:[ ("net", b.out) ] E.Parse_error
+        "cover width mismatch for %s" b.out
+    else begin
+      let pos = ref 0 and neg = ref 0 and bad = ref None in
+      String.iteri
+        (fun i c ->
+          match c with
+          | '1' -> pos := !pos lor (1 lsl i)
+          | '0' -> neg := !neg lor (1 lsl i)
+          | '-' -> ()
+          | c -> bad := Some c)
+        pat;
+      match !bad with
+      | Some c -> err ~line:b.line E.Parse_error "bad cover char %C" c
+      | None -> Ok { T.pos = !pos; T.neg = !neg }
+    end
+  in
+  let* cubes =
+    List.fold_left
+      (fun acc (pat, _) ->
+        let* acc = acc in
+        let* cube = cube_of pat in
+        Ok (cube :: acc))
+      (Ok []) rows
+  in
+  let tt = T.of_cubes k (List.rev cubes) in
+  let tt = if on_output_one then tt else T.lognot tt in
+  let fanins = Array.of_list (List.map (Hashtbl.find ids) b.ins) in
+  let id =
+    if k = 0 then Netlist.add_node t (Netlist.Constant (T.eval tt 0)) [||]
+    else Netlist.add_node t (Netlist.Lut tt) fanins
+  in
+  Hashtbl.replace ids b.out id;
+  Ok ()
+
+(* Fixpoint stalled: explain why. A cycle among the remaining blocks is a
+   combinational loop; otherwise some fanin is undriven. *)
+let diagnose_stall remaining ids =
+  let by_out = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace by_out b.out b) remaining;
+  let missing =
+    List.concat_map
+      (fun b ->
+        List.filter
+          (fun i -> (not (Hashtbl.mem ids i)) && not (Hashtbl.mem by_out i))
+          b.ins)
+      remaining
+    |> List.sort_uniq compare
+  in
+  match missing with
+  | name :: _ ->
+      let b = List.find (fun b -> List.mem name b.ins) remaining in
+      err ~line:b.line
+        ~context:[ ("net", name); ("undriven", String.concat "," missing) ]
+        E.Undriven_net "signal %S is never driven" name
+  | [] -> (
+      let deps out =
+        match Hashtbl.find_opt by_out out with
+        | None -> []
+        | Some b -> List.filter (Hashtbl.mem by_out) b.ins
+      in
+      let outs = List.map (fun b -> b.out) remaining in
+      match Check.find_cycle ~nodes:outs ~deps with
+      | Some cycle ->
+          let b = Hashtbl.find by_out (List.hd cycle) in
+          err ~line:b.line
+            ~context:[ ("cycle", String.concat " -> " cycle) ]
+            E.Combinational_loop "combinational loop through %S" (List.hd cycle)
+      | None ->
+          (* Unreachable: a stalled acyclic block set must miss a driver. *)
+          err ~line:(List.hd remaining).line E.Internal
+            "unresolved .names blocks without loop or missing driver")
+
+let parse_string text =
+  let ( let* ) = Result.bind in
+  let* inputs, outputs, blocks = scan_blocks text in
   let t = Netlist.create () in
   let ids = Hashtbl.create 64 in
-  List.iter (fun name -> Hashtbl.replace ids name (Netlist.add_input t name)) !inputs;
+  List.iter (fun name -> Hashtbl.replace ids name (Netlist.add_input t name)) inputs;
   (* Blocks may reference each other in any order: resolve by repeated passes
      (combinational circuits are acyclic). *)
   let remaining = ref blocks in
   let progress = ref true in
-  while !remaining <> [] && !progress do
+  let failure = ref None in
+  while !remaining <> [] && !progress && !failure = None do
     progress := false;
     let later = ref [] in
     List.iter
       (fun b ->
-        if List.for_all (fun i -> Hashtbl.mem ids i) b.ins then begin
-          progress := true;
-          let k = List.length b.ins in
-          if k > 16 then fail ".names with %d inputs (max 16)" k;
-          let on_output_one = List.for_all (fun (_, v) -> v = '1') b.cover in
-          let rows = if on_output_one then b.cover else List.filter (fun (_, v) -> v = '0') b.cover in
-          if (not on_output_one) && List.exists (fun (_, v) -> v = '1') b.cover then
-            fail "mixed 0/1 cover for %s" b.out;
-          let cube_of pat =
-            if String.length pat <> k then fail "cover width mismatch for %s" b.out;
-            let pos = ref 0 and neg = ref 0 in
-            String.iteri
-              (fun i c ->
-                match c with
-                | '1' -> pos := !pos lor (1 lsl i)
-                | '0' -> neg := !neg lor (1 lsl i)
-                | '-' -> ()
-                | _ -> fail "bad cover char %C" c)
-              pat;
-            { T.pos = !pos; T.neg = !neg }
-          in
-          let tt = T.of_cubes k (List.map (fun (pat, _) -> cube_of pat) rows) in
-          let tt = if on_output_one then tt else T.lognot tt in
-          let fanins = Array.of_list (List.map (Hashtbl.find ids) b.ins) in
-          let id =
-            if k = 0 then Netlist.add_node t (Netlist.Constant (T.eval tt 0)) [||]
-            else Netlist.add_node t (Netlist.Lut tt) fanins
-          in
-          Hashtbl.replace ids b.out id
-        end
-        else later := b :: !later)
+        if !failure = None then
+          if List.for_all (fun i -> Hashtbl.mem ids i) b.ins then begin
+            progress := true;
+            match build_block t ids b with
+            | Ok () -> ()
+            | Result.Error e -> failure := Some e
+          end
+          else later := b :: !later)
       !remaining;
     remaining := List.rev !later
   done;
-  if !remaining <> [] then
-    fail "unresolved signals (cycle or missing driver), e.g. %S" (List.hd !remaining).out;
-  List.iter
-    (fun name ->
-      match Hashtbl.find_opt ids name with
-      | Some id -> Netlist.add_output t name id
-      | None -> fail "undriven output %S" name)
-    !outputs;
-  t
+  match !failure with
+  | Some e -> Result.Error e
+  | None ->
+      let* () =
+        if !remaining <> [] then
+          match diagnose_stall !remaining ids with
+          | Ok _ -> assert false
+          | Result.Error _ as e -> e
+        else Ok ()
+      in
+      let* () =
+        List.fold_left
+          (fun acc name ->
+            let* () = acc in
+            match Hashtbl.find_opt ids name with
+            | Some id ->
+                Netlist.add_output t name id;
+                Ok ()
+            | None ->
+                err ~line:0 ~context:[ ("net", name) ] E.Undriven_net
+                  "undriven output %S" name)
+          (Ok ()) outputs
+      in
+      Ok t
 
-let read_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  read_string s
+let parse_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text ->
+      Result.map_error
+        (fun e -> E.with_context e [ ("file", path) ])
+        (parse_string text)
+  | exception Sys_error msg -> Result.Error (E.make stage E.Io_error msg)
+
+let read_string text = E.get_exn (parse_string text)
+let read_file path = E.get_exn (parse_file path)
 
 let node_name t id =
   match Netlist.op t id with

@@ -2,11 +2,23 @@
 
     Supports the combinational subset used by synthesis benchmarks:
     [.model], [.inputs], [.outputs], [.names] with single-output covers, and
-    [.end]. Covers become {!Netlist.op.Lut} nodes. *)
+    [.end]. Covers become {!Netlist.op.Lut} nodes.
 
-exception Parse_error of string
+    The reader is hardened: malformed directives, truncated files (missing
+    [.end]), duplicate [.model] names, multiply-driven or undriven nets and
+    combinational loops all surface as typed [netlist/*] errors whose
+    context carries the offending 1-based line number ([("line", ...)]) and
+    net names — never an escaping exception. *)
+
+val parse_string : string -> (Netlist.t, Runtime.Cnt_error.t) result
+
+val parse_file : string -> (Netlist.t, Runtime.Cnt_error.t) result
+(** Adds [("file", path)] to the error context; I/O failures become
+    [netlist/io-error]. *)
 
 val read_string : string -> Netlist.t
+(** Raising variant of {!parse_string}: raises [Runtime.Cnt_error.Error]. *)
+
 val read_file : string -> Netlist.t
 
 val write_string : ?model:string -> Netlist.t -> string

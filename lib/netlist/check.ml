@@ -1,0 +1,100 @@
+module E = Runtime.Cnt_error
+
+let stage = E.Netlist
+
+type report = { dangling_nodes : int; unused_inputs : string list }
+
+let clean r = r.dangling_nodes = 0 && r.unused_inputs = []
+
+let pp_report ppf r =
+  if clean r then Format.pp_print_string ppf "well-formed"
+  else
+    Format.fprintf ppf "%d dangling node(s)%s" r.dangling_nodes
+      (match r.unused_inputs with
+      | [] -> ""
+      | ins -> Printf.sprintf ", unused input(s): %s" (String.concat "," ins))
+
+let find_cycle ~nodes ~deps =
+  (* 0 = white, 1 = on stack, 2 = done. *)
+  let color = Hashtbl.create 16 in
+  let col n = Option.value ~default:0 (Hashtbl.find_opt color n) in
+  let cycle = ref None in
+  let rec visit path n =
+    if !cycle = None then
+      match col n with
+      | 1 ->
+          (* Found: slice the path back to the repeated node. *)
+          let rec take acc = function
+            | [] -> acc
+            | m :: _ when m = n -> m :: acc
+            | m :: rest -> take (m :: acc) rest
+          in
+          cycle := Some (take [] path)
+      | 2 -> ()
+      | _ ->
+          Hashtbl.replace color n 1;
+          List.iter (visit (n :: path)) (deps n);
+          Hashtbl.replace color n 2
+  in
+  List.iter (visit []) nodes;
+  !cycle
+
+let dup_name names =
+  let seen = Hashtbl.create 16 in
+  List.find_opt
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.replace seen n ();
+        false
+      end)
+    names
+
+let check t =
+  let ( let* ) = Result.bind in
+  let outs = Netlist.outputs t in
+  let* () =
+    if Array.length outs = 0 then
+      E.error stage E.Validation_error "netlist has no primary outputs"
+    else Ok ()
+  in
+  let* () =
+    match dup_name (Array.to_list (Array.map fst outs)) with
+    | Some name ->
+        E.error
+          ~context:[ ("net", name) ]
+          stage E.Multiply_driven_net "duplicate output name %S" name
+    | None -> Ok ()
+  in
+  let input_names = Array.to_list (Array.map (Netlist.input_name t) (Netlist.inputs t)) in
+  let* () =
+    match dup_name input_names with
+    | Some name ->
+        E.error
+          ~context:[ ("net", name) ]
+          stage E.Validation_error "duplicate input name %S" name
+    | None -> Ok ()
+  in
+  (* Backward reachability from the outputs over the fanin edges. *)
+  let n = Netlist.size t in
+  let live = Array.make n false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      Array.iter mark (Netlist.fanins t id)
+    end
+  in
+  Array.iter (fun (_, id) -> mark id) outs;
+  let dangling = ref 0 in
+  Netlist.iter_nodes t (fun id op _ ->
+      match op with
+      | Netlist.Input | Netlist.Constant _ -> ()
+      | _ -> if not live.(id) then incr dangling);
+  let unused =
+    Array.to_list (Netlist.inputs t)
+    |> List.filter (fun id -> not live.(id))
+    |> List.map (Netlist.input_name t)
+  in
+  Ok { dangling_nodes = !dangling; unused_inputs = unused }
+
+let check_exn t = E.get_exn (check t)

@@ -1,0 +1,35 @@
+(** Netlist well-formedness checking, run before technology mapping.
+
+    {!Netlist.t} is acyclic and single-driver by construction, so the hard
+    malformations (combinational loops, multiply-driven nets) are caught at
+    the text boundary by {!Blif} — using {!find_cycle} from this module.
+    What remains checkable on a built netlist is naming consistency and
+    connectivity hygiene: duplicate port names and circuits with no outputs
+    are errors; logic that drives no output ("dangling fanout") and unused
+    primary inputs are reported so the pipeline can warn instead of
+    silently estimating power for dead logic. *)
+
+type report = {
+  dangling_nodes : int;  (** gate nodes with no path to any primary output *)
+  unused_inputs : string list;  (** primary inputs no output depends on *)
+}
+
+val clean : report -> bool
+(** No dangling nodes and no unused inputs. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val check : Netlist.t -> (report, Runtime.Cnt_error.t) result
+(** Errors (all stage [netlist]): [Validation_error] for a circuit with no
+    outputs, [Multiply_driven_net] for duplicate output names,
+    [Validation_error] for duplicate input names. *)
+
+val check_exn : Netlist.t -> report
+(** Raising variant of {!check}. *)
+
+val find_cycle : nodes:string list -> deps:(string -> string list) -> string list option
+(** Generic cycle finder over a named dependency graph (depth-first, three
+    colors). Returns one cycle as a name path [n0 -> n1 -> ... -> n0]
+    (first element repeated at the end is omitted), or [None] if the graph
+    restricted to [nodes] is acyclic. Used by the BLIF reader to turn a
+    stalled resolution fixpoint into a [Combinational_loop] diagnosis. *)

@@ -1,0 +1,41 @@
+type verdict =
+  | Graceful of Cnt_error.t
+  | Survived
+  | Escaped of string
+
+type outcome = { name : string; description : string; verdict : verdict }
+
+let inject ~name ~description f =
+  let verdict =
+    match f () with
+    | Ok _ -> Survived
+    | Result.Error e -> Graceful e
+    | exception exn -> Escaped (Printexc.to_string exn)
+  in
+  { name; description; verdict }
+
+let graceful o = match o.verdict with Graceful _ -> true | Survived | Escaped _ -> false
+let contained o = match o.verdict with Escaped _ -> false | Graceful _ | Survived -> true
+
+let pp_outcome ppf o =
+  match o.verdict with
+  | Graceful e -> Format.fprintf ppf "GRACEFUL %-24s %a" o.name Cnt_error.pp e
+  | Survived -> Format.fprintf ppf "SURVIVED %-24s (%s)" o.name o.description
+  | Escaped exn -> Format.fprintf ppf "ESCAPED  %-24s %s" o.name exn
+
+let summarize ppf outcomes =
+  List.iter (fun o -> Format.fprintf ppf "%a@." pp_outcome o) outcomes;
+  List.length (List.filter (fun o -> not (contained o)) outcomes)
+
+let corrupt_float how x =
+  match how with
+  | `Nan -> Float.nan
+  | `Pos_inf -> Float.infinity
+  | `Neg_inf -> Float.neg_infinity
+  | `Zero -> 0.0
+  | `Negate -> -.x
+
+let truncate_text ~fraction s =
+  let n = String.length s in
+  let keep = max 0 (min n (int_of_float (fraction *. float_of_int n))) in
+  String.sub s 0 keep

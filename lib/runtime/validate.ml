@@ -1,0 +1,44 @@
+let classify x =
+  match Float.classify_float x with
+  | Float.FP_nan | Float.FP_infinite -> `Non_finite
+  | Float.FP_zero -> `Zero
+  | Float.FP_normal | Float.FP_subnormal -> if x < 0.0 then `Negative else `Positive
+
+let ctx what x = [ (what, Printf.sprintf "%h" x) ]
+
+let finite ~stage ~what x =
+  match classify x with
+  | `Non_finite ->
+      Cnt_error.error ~context:(ctx what x) stage Cnt_error.Non_finite
+        "%s must be finite" what
+  | _ -> Ok x
+
+let positive ~stage ~what x =
+  match classify x with
+  | `Non_finite ->
+      Cnt_error.error ~context:(ctx what x) stage Cnt_error.Non_finite
+        "%s must be finite" what
+  | `Zero | `Negative ->
+      Cnt_error.error ~context:(ctx what x) stage Cnt_error.Validation_error
+        "%s must be > 0" what
+  | `Positive -> Ok x
+
+let non_negative ~stage ~what x =
+  match classify x with
+  | `Non_finite ->
+      Cnt_error.error ~context:(ctx what x) stage Cnt_error.Non_finite
+        "%s must be finite" what
+  | `Negative ->
+      Cnt_error.error ~context:(ctx what x) stage Cnt_error.Validation_error
+        "%s must be >= 0" what
+  | `Zero | `Positive -> Ok x
+
+let require ~stage ?(code = Cnt_error.Validation_error) ?context cond msg =
+  if cond then Ok () else Result.Error (Cnt_error.make ?context stage code msg)
+
+let rec all = function
+  | [] -> Ok ()
+  | Ok () :: rest -> all rest
+  | (Result.Error _ as e) :: _ -> e
+
+let ( let* ) = Result.bind

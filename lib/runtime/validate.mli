@@ -1,0 +1,32 @@
+(** Input-validation helpers shared by the hardened layers.
+
+    All functions return [('a, Cnt_error.t) result] with code
+    [Validation_error] (or [Non_finite] for NaN/infinity) and put the
+    offending parameter name and value into the error context. *)
+
+val finite : stage:Cnt_error.stage -> what:string -> float -> (float, Cnt_error.t) result
+(** Reject NaN and infinities. *)
+
+val positive : stage:Cnt_error.stage -> what:string -> float -> (float, Cnt_error.t) result
+(** Reject NaN, infinities, zero and negatives. *)
+
+val non_negative :
+  stage:Cnt_error.stage -> what:string -> float -> (float, Cnt_error.t) result
+(** Reject NaN, infinities and negatives; zero is allowed. *)
+
+val require :
+  stage:Cnt_error.stage ->
+  ?code:Cnt_error.code ->
+  ?context:(string * string) list ->
+  bool ->
+  string ->
+  (unit, Cnt_error.t) result
+(** [require ~stage cond msg] is [Ok ()] when [cond] holds, otherwise a
+    [Validation_error] (or [?code]) carrying [msg]. *)
+
+val all : (unit, Cnt_error.t) result list -> (unit, Cnt_error.t) result
+(** First error wins; [Ok ()] if every check passed. *)
+
+val ( let* ) :
+  ('a, Cnt_error.t) result -> ('a -> ('b, Cnt_error.t) result) -> ('b, Cnt_error.t) result
+(** Result bind, re-exported so hardened modules can open [Validate]. *)

@@ -28,12 +28,24 @@ let node t name =
       Hashtbl.replace t.names name n;
       n
 
+let stage = Runtime.Cnt_error.Spice
+
 let add_vsource t n v =
-  assert (n <> ground);
+  if n = ground then
+    Runtime.Cnt_error.failf stage Runtime.Cnt_error.Validation_error
+      "voltage source attached to the ground node";
+  if not (Float.is_finite v) then
+    Runtime.Cnt_error.failf
+      ~context:[ ("value", Printf.sprintf "%h" v) ]
+      stage Runtime.Cnt_error.Non_finite "voltage source value must be finite";
   t.sources <- (n, v) :: t.sources
 
 let add_resistor t a b r =
-  assert (r > 0.0);
+  if not (Float.is_finite r && r > 0.0) then
+    Runtime.Cnt_error.failf
+      ~context:[ ("value", Printf.sprintf "%h" r) ]
+      stage Runtime.Cnt_error.Validation_error
+      "resistance must be finite and > 0";
   t.elements <- Resistor (a, b, r) :: t.elements
 
 let add_transistor t kind ~d ~g ~s ?pg () =
@@ -89,7 +101,11 @@ let gauss_solve a b =
       b.(!pivot) <- tb
     end;
     let p = a.(col).(col) in
-    if abs_float p < 1.0e-30 then failwith "Circuit.solve: singular Jacobian";
+    if abs_float p < 1.0e-30 then
+      Runtime.Cnt_error.failf
+        ~context:[ ("pivot", Printf.sprintf "%.3g" p); ("column", string_of_int col) ]
+        stage Runtime.Cnt_error.Singular_matrix
+        "Circuit.solve: singular Jacobian";
     for row = col + 1 to n - 1 do
       let f = a.(row).(col) /. p in
       if f <> 0.0 then begin
@@ -135,6 +151,7 @@ let solve ?(max_iter = 200) ?(tol = 1.0e-11) t =
   else begin
     let converged = ref false in
     let iter = ref 0 in
+    let last_worst = ref infinity in
     while (not !converged) && !iter < max_iter do
       incr iter;
       let f0 = injections t v in
@@ -163,11 +180,50 @@ let solve ?(max_iter = 200) ?(tol = 1.0e-11) t =
           v.(nd) <- v.(nd) +. d;
           if abs_float d > !worst then worst := abs_float d)
         unknowns;
+      if not (Float.is_finite !worst) then
+        Runtime.Cnt_error.failf
+          ~context:[ ("iteration", string_of_int !iter) ]
+          stage Runtime.Cnt_error.Non_finite
+          "Circuit.solve: non-finite Newton update";
+      last_worst := !worst;
       if !worst < tol then converged := true
     done;
-    if not !converged then failwith "Circuit.solve: Newton did not converge";
+    if not !converged then
+      Runtime.Cnt_error.failf
+        ~context:
+          [
+            ("iterations", string_of_int !iter);
+            ("residual", Printf.sprintf "%.3g" !last_worst);
+          ]
+        stage Runtime.Cnt_error.Convergence_failure
+        "Circuit.solve: Newton did not converge";
     v
   end
+
+let validate t =
+  let open Runtime.Validate in
+  let element_checks =
+    List.concat_map
+      (fun el ->
+        match el with
+        | Resistor (_, _, r) ->
+            [ Result.map (fun _ -> ()) (positive ~stage ~what:"resistance" r) ]
+        | Transistor (kind, _, _, _, _) ->
+            [ Result.map (fun _ -> ()) (Tech.validate (Device.tech kind)) ])
+      t.elements
+  in
+  let source_checks =
+    List.map
+      (fun (_, value) ->
+        Result.map (fun _ -> ()) (finite ~stage ~what:"source voltage" value))
+      t.sources
+  in
+  all (source_checks @ element_checks)
+
+let solve_checked ?max_iter ?tol t =
+  match validate t with
+  | Result.Error _ as e -> e
+  | Ok () -> Runtime.Cnt_error.protect ~stage (fun () -> solve ?max_iter ?tol t)
 
 let source_current t sol n =
   let inj = injections t sol in

@@ -35,8 +35,19 @@ val source_current : t -> solution -> node -> float
     = flowing out of the source into the circuit). *)
 
 val solve : ?max_iter:int -> ?tol:float -> t -> solution
-(** Newton–Raphson nodal analysis. Raises [Failure] if it does not
-    converge. *)
+(** Newton–Raphson nodal analysis. Raises [Runtime.Cnt_error.Error] with
+    code [Convergence_failure], [Singular_matrix] or [Non_finite] when the
+    iteration fails. Use {!solve_checked} at hardened boundaries. *)
+
+val solve_checked :
+  ?max_iter:int -> ?tol:float -> t -> (solution, Runtime.Cnt_error.t) result
+(** {!validate} followed by {!solve}, with every failure (including wrapped
+    unexpected exceptions) returned as a typed error. *)
+
+val validate : t -> (unit, Runtime.Cnt_error.t) result
+(** Well-formedness of the element list: finite source voltages, positive
+    finite resistances, and device model cards that pass
+    {!Tech.validate}. *)
 
 val node_currents : t -> float array -> float array
 (** [node_currents t v] evaluates, for the node-voltage assignment [v]

@@ -79,3 +79,26 @@ let with_vth_shift t dv = { t with vth_n = t.vth_n +. dv; vth_p = t.vth_p +. dv 
 let pp_family ppf = function
   | Cmos_bulk_32 -> Format.pp_print_string ppf "cmos-32nm"
   | Cntfet_32 -> Format.pp_print_string ppf "cntfet-32nm"
+
+let validate t =
+  let open Runtime.Validate in
+  let stage = Runtime.Cnt_error.Spice in
+  let* () =
+    all
+      [
+        Result.map (fun _ -> ()) (positive ~stage ~what:"vdd" t.vdd);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"temp_vt" t.temp_vt);
+        Result.map (fun _ -> ()) (finite ~stage ~what:"vth_n" t.vth_n);
+        Result.map (fun _ -> ()) (finite ~stage ~what:"vth_p" t.vth_p);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"ss_factor" t.ss_factor);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"sat_exponent" t.sat_exponent);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"ispec" t.ispec);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"ioff_unit" t.ioff_unit);
+        Result.map (fun _ -> ()) (non_negative ~stage ~what:"ig_on_unit" t.ig_on_unit);
+        Result.map (fun _ -> ()) (non_negative ~stage ~what:"ig_off_unit" t.ig_off_unit);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"c_gate" t.c_gate);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"c_drain" t.c_drain);
+        Result.map (fun _ -> ()) (positive ~stage ~what:"tau" t.tau);
+      ]
+  in
+  Ok t

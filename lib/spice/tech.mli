@@ -48,6 +48,13 @@ val inverter_input_cap : t -> float
 
 val pp_family : Format.formatter -> family -> unit
 
+val validate : t -> (t, Runtime.Cnt_error.t) result
+(** Reject corners with non-finite or out-of-range parameters (NaN/Inf
+    thresholds, non-positive supply, capacitances or currents). Hardened
+    entry points call this before using a corner, so a corrupted model card
+    surfaces as a typed [spice/non-finite] or [spice/validation-error]
+    instead of NaNs propagating into every downstream figure. *)
+
 (** {1 Corner derivation}
 
     Derived corners keep the device's specific current (its physical

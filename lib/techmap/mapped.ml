@@ -133,7 +133,11 @@ let check t reference ~patterns ~seed =
               find 0
             in
             stimulus.(idx)
-        | None -> failwith ("Mapped.check: unknown PI " ^ name))
+        | None ->
+            Runtime.Cnt_error.failf
+              ~context:[ ("net", name) ]
+              Runtime.Cnt_error.Techmap Runtime.Cnt_error.Missing_signal
+              "Mapped.check: unknown PI %s" name)
       ref_inputs
   in
   ignore by_name;

@@ -111,7 +111,10 @@ let select ~objective ~inv (matches : node_matches array) aig weight =
     relax 0;
     relax 1;
     if best.(node).(0) = None && best.(node).(1) = None then
-      failwith (Printf.sprintf "Mapper.map: node %d has no match" node)
+      Runtime.Cnt_error.failf
+        ~context:[ ("node", string_of_int node) ]
+        Runtime.Cnt_error.Techmap Runtime.Cnt_error.Unmapped_node
+        "Mapper.map: node %d has no match" node
   done;
   best
 
@@ -178,7 +181,11 @@ let extract best aig lib inv =
         let info =
           match best.(node).(phase) with
           | Some i -> i
-          | None -> failwith "Mapper.map: unmapped phase required"
+          | None ->
+              Runtime.Cnt_error.failf
+                ~context:[ ("node", string_of_int node) ]
+                Runtime.Cnt_error.Techmap Runtime.Cnt_error.Unmapped_node
+                "Mapper.map: unmapped phase required"
         in
         let net =
           match info.choice with
@@ -241,3 +248,7 @@ let map ?(objective = Delay) ?(k = 6) ?(max_cuts = 10) ml aig =
       best := select ~objective ~inv matches aig (weight_of refs)
     done;
   extract !best aig lib inv
+
+let map_checked ?objective ?k ?max_cuts ml aig =
+  Runtime.Cnt_error.protect ~stage:Runtime.Cnt_error.Techmap (fun () ->
+      map ?objective ?k ?max_cuts ml aig)

@@ -18,6 +18,17 @@ val map :
   Matchlib.t ->
   Aigs.Aig.t ->
   Mapped.t
-(** Map the AIG. Raises [Failure] if some cut function has no match and no
-    decomposition applies (cannot happen when the library contains INV and
-    NAND2/NOR2, since every AND node has its 2-leaf cut). *)
+(** Map the AIG. Raises [Runtime.Cnt_error.Error] (code [Unmapped_node])
+    if some cut function has no match and no decomposition applies (cannot
+    happen when the library contains INV and NAND2/NOR2, since every AND
+    node has its 2-leaf cut). *)
+
+val map_checked :
+  ?objective:objective ->
+  ?k:int ->
+  ?max_cuts:int ->
+  Matchlib.t ->
+  Aigs.Aig.t ->
+  (Mapped.t, Runtime.Cnt_error.t) result
+(** Hardened boundary around {!map}: every failure, including wrapped
+    unexpected exceptions, is returned as a typed [techmap/*] error. *)

@@ -151,8 +151,15 @@ let blif_out_of_order_blocks () =
     [ (false, false); (true, true) ]
 
 let blif_errors () =
-  Alcotest.check_raises "undriven output" (Blif.Parse_error "undriven output \"y\"")
-    (fun () -> ignore (Blif.read_string ".model m\n.inputs a\n.outputs y\n.end\n"))
+  match Blif.parse_string ".model m\n.inputs a\n.outputs y\n.end\n" with
+  | Ok _ -> Alcotest.fail "expected undriven-output error"
+  | Error e ->
+      Alcotest.(check bool)
+        "undriven-net code" true
+        (e.Runtime.Cnt_error.code = Runtime.Cnt_error.Undriven_net);
+      Alcotest.(check (option string))
+        "net context" (Some "y")
+        (List.assoc_opt "net" e.Runtime.Cnt_error.context)
 
 let () =
   Alcotest.run "nets"
