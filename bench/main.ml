@@ -100,7 +100,20 @@ let micro_tests () =
     Test.make ~name:"estimate-mult8-64k"
       (Staged.stage (fun () -> ignore (Techmap.Estimate.run ~patterns:65536 mapped)))
   in
-  [ classify; dc_solve; resyn; mapping; simulate ]
+  let supervise =
+    (* Cost of the process-isolation layer itself: fork a worker, marshal
+       a typical scalar payload back, reap the exit. Bounds the overhead
+       `cntpower all` pays per experiment for crash/timeout safety. *)
+    let payload = List.init 16 (fun i -> (Printf.sprintf "m%d" i, float_of_int i)) in
+    Test.make ~name:"supervisor-fork-roundtrip"
+      (Staged.stage (fun () ->
+           ignore
+             (Runtime.Supervisor.run
+                ~policy:{ Runtime.Supervisor.timeout_s = 30.0; retries = 0; degrade = false }
+                ~name:"bench"
+                (fun ~degraded:_ -> payload))))
+  in
+  [ classify; dc_solve; resyn; mapping; simulate; supervise ]
 
 let run_micro () =
   Format.printf "@.#### Microbenchmarks (bechamel) ####@.";

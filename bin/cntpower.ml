@@ -2,24 +2,70 @@
 
    Subcommands map one-to-one onto the experiments of DESIGN.md:
    table1, libchar, patterns, tgate, delay, dynamic, pla, seq, sensitivity,
-   ablations, synth, genlib, check, and `all`, which reproduces every table
-   and headline figure through the fault-isolating experiment harness.
+   ablations, synth, genlib, check, golden, and `all`, which reproduces
+   every table and headline figure through the supervised experiment
+   harness (forked workers, watchdog timeouts, checkpoint/resume).
 
    Exit codes (documented in README.md): 0 success; 10 `all --keep-going`
    completed with failures; 11 `all --strict` aborted at the first failure;
    12-27 a typed Cnt_error escaped a single-experiment command (one code
-   per error class, see Runtime.Cnt_error.exit_code); 124/125 cmdliner
-   errors. *)
+   per error class, see Runtime.Cnt_error.exit_code — 25 worker timeout,
+   26 worker killed); 124/125 cmdliner errors. *)
 
 let std = Format.std_formatter
 
 module R = Runtime.Cnt_error
+module C = Runtime.Checkpoint
+module S = Runtime.Supervisor
 
 open Cmdliner
 
+(* ------------------------------------------------------------------ *)
+(* Argument validation: a nonpositive pattern count must die here as a
+   typed usage error, not deep inside Logic.Bitvec.create. *)
+
+let validate_patterns p =
+  if p < 1 then
+    R.failf
+      ~context:[ ("patterns", string_of_int p) ]
+      R.Cli R.Validation_error "--patterns must be >= 1 (got %d)" p;
+  if p > 100_000_000 then
+    R.failf
+      ~context:[ ("patterns", string_of_int p) ]
+      R.Cli R.Validation_error
+      "--patterns %d is beyond the supported budget (max 100000000)" p
+
+let validate_seed s =
+  if Int64.compare s 0L < 0 then
+    R.failf
+      ~context:[ ("seed", Int64.to_string s) ]
+      R.Cli R.Validation_error "--seed must be >= 0 (got %Ld)" s
+
+let find_circuit name =
+  match
+    List.find_opt (fun (e : Circuits.Suite.entry) -> e.Circuits.Suite.name = name)
+      Circuits.Suite.all
+  with
+  | Some e -> e
+  | None ->
+      R.failf
+        ~context:
+          [
+            ( "known",
+              String.concat ","
+                (List.map
+                   (fun (e : Circuits.Suite.entry) -> e.Circuits.Suite.name)
+                   Circuits.Suite.all) );
+          ]
+        R.Cli R.Validation_error "unknown circuit %S" name
+
 let patterns_arg =
-  let doc = "Number of random simulation patterns for power estimation." in
+  let doc = "Number of random simulation patterns for power estimation (>= 1)." in
   Arg.(value & opt int Techmap.Estimate.default_patterns & info [ "p"; "patterns" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for power-estimation patterns (>= 0)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~doc)
 
 let circuit_arg =
   let doc = "Benchmark circuit name (Table 1 row), e.g. C6288." in
@@ -29,13 +75,13 @@ let circuit_arg =
    failure distinctly from success. *)
 let ok0 run = Term.(const (fun () -> run (); 0) $ const ())
 
-let run_table1 patterns only =
+let run_table1 patterns seed only =
+  validate_patterns patterns;
+  validate_seed seed;
   let circuits =
-    match only with
-    | [] -> Circuits.Suite.all
-    | names -> List.map Circuits.Suite.find names
+    match only with [] -> Circuits.Suite.all | names -> List.map find_circuit names
   in
-  let summary = Experiments.Exp_table1.run ~patterns ~circuits () in
+  let summary = Experiments.Exp_table1.run ~patterns ~seed ~circuits () in
   Experiments.Exp_table1.print std summary
 
 let table1_cmd =
@@ -45,7 +91,9 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (synthesis, mapping, power, EDP).")
-    Term.(const (fun patterns only -> run_table1 patterns only; 0) $ patterns_arg $ only)
+    Term.(
+      const (fun patterns seed only -> run_table1 patterns seed only; 0)
+      $ patterns_arg $ seed_arg $ only)
 
 let libchar_cmd =
   Cmd.v
@@ -98,35 +146,53 @@ let ablations_cmd =
     (Cmd.info "ablations" ~doc:"Run the A2-A5 ablations on the multiplier.")
     (ok0 (fun () -> Experiments.Ablations.print std ()))
 
-let run_synth circuit patterns =
-  let entry = Circuits.Suite.find circuit in
-  let nl = entry.Circuits.Suite.generate () in
-  let wf = Nets.Check.check_exn nl in
-  let aig = Aigs.Aig.of_netlist nl in
-  Format.fprintf std "%s (%s): %a [%a]@." entry.Circuits.Suite.name
-    entry.Circuits.Suite.description Aigs.Aig.pp_stats aig Nets.Check.pp_report wf;
-  let opt = Aigs.Opt.resyn2rs aig in
-  Format.fprintf std "after resyn2rs: %a@." Aigs.Aig.pp_stats opt;
-  List.iter
-    (fun lib ->
-      let ml = Techmap.Matchlib.build lib in
-      let mapped = R.get_exn (Techmap.Mapper.map_checked ml opt) in
-      let ok = Techmap.Mapped.check mapped nl ~patterns:512 ~seed:4L in
-      Format.fprintf std "@.%a (verified: %b)@." Techmap.Mapped.pp_stats mapped ok;
-      List.iter
-        (fun (name, count) -> Format.fprintf std "  %-10s x%d@." name count)
-        (Techmap.Mapped.gate_histogram mapped);
-      let report = Techmap.Estimate.run ~patterns mapped in
-      Format.fprintf std "  %a@." Techmap.Estimate.pp_report report;
-      let sta = Techmap.Sta.analyze mapped in
-      Format.fprintf std "  %a@." Techmap.Sta.pp_report sta)
-    Cell.Genlib.all_libraries
+(* `synth` goes through the checked error path end to end: every failure
+   (unknown circuit, malformed generator output, mapping dead-end) is
+   reported as a typed error and exits with its per-class code, exactly
+   like the other subcommands. *)
+let run_synth circuit patterns seed =
+  validate_patterns patterns;
+  validate_seed seed;
+  let body () =
+    let entry = find_circuit circuit in
+    let nl = entry.Circuits.Suite.generate () in
+    let wf = Nets.Check.check_exn nl in
+    let aig = Aigs.Aig.of_netlist nl in
+    Format.fprintf std "%s (%s): %a [%a]@." entry.Circuits.Suite.name
+      entry.Circuits.Suite.description Aigs.Aig.pp_stats aig Nets.Check.pp_report wf;
+    let opt = Aigs.Opt.resyn2rs aig in
+    Format.fprintf std "after resyn2rs: %a@." Aigs.Aig.pp_stats opt;
+    List.iter
+      (fun lib ->
+        let ml = Techmap.Matchlib.build lib in
+        match Techmap.Mapper.map_checked ml opt with
+        | Result.Error e ->
+            R.raise_error
+              (R.with_context e
+                 [ ("circuit", circuit); ("library", lib.Cell.Genlib.name) ])
+        | Ok mapped ->
+            let ok = Techmap.Mapped.check mapped nl ~patterns:512 ~seed:4L in
+            Format.fprintf std "@.%a (verified: %b)@." Techmap.Mapped.pp_stats mapped ok;
+            List.iter
+              (fun (name, count) -> Format.fprintf std "  %-10s x%d@." name count)
+              (Techmap.Mapped.gate_histogram mapped);
+            let report = Techmap.Estimate.run ~patterns ~seed mapped in
+            Format.fprintf std "  %a@." Techmap.Estimate.pp_report report;
+            let sta = Techmap.Sta.analyze mapped in
+            Format.fprintf std "  %a@." Techmap.Sta.pp_report sta)
+      Cell.Genlib.all_libraries
+  in
+  match R.protect ~stage:R.Experiment body with
+  | Ok () -> 0
+  | Result.Error e ->
+      Format.eprintf "cntpower: %a@." R.pp e;
+      R.exit_code e
 
 let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize and map one benchmark with all three libraries, with details.")
-    Term.(const (fun c p -> run_synth c p; 0) $ circuit_arg $ patterns_arg)
+    Term.(const run_synth $ circuit_arg $ patterns_arg $ seed_arg)
 
 let genlib_cmd =
   let run () =
@@ -143,20 +209,24 @@ let genlib_cmd =
 (* BLIF pipeline used by `check` and by `all --with-blif`: parse, validate
    well-formedness, synthesize, map and estimate. Every failure is a typed
    error. *)
-let run_blif_pipeline ppf ~patterns path =
+let run_blif_pipeline ppf ~patterns ~seed path =
   let nl = R.get_exn (Nets.Blif.parse_file path) in
   let wf = Nets.Check.check_exn nl in
   Format.fprintf ppf "%s: %a [%a]@." path Nets.Netlist.pp_stats nl
     Nets.Check.pp_report wf;
   let aig = Aigs.Aig.of_netlist nl in
   let opt = Aigs.Opt.resyn2rs aig in
-  List.iter
+  List.concat_map
     (fun lib ->
       let ml = Techmap.Matchlib.build lib in
       let mapped = R.get_exn (Techmap.Mapper.map_checked ml opt) in
-      let report = Techmap.Estimate.run ~patterns mapped in
+      let report = Techmap.Estimate.run ~patterns ~seed mapped in
       Format.fprintf ppf "  %-20s %a@." lib.Cell.Genlib.name
-        Techmap.Estimate.pp_report report)
+        Techmap.Estimate.pp_report report;
+      [
+        (lib.Cell.Genlib.name ^ ".gates", float_of_int report.Techmap.Estimate.gates);
+        (lib.Cell.Genlib.name ^ ".total_uW", report.Techmap.Estimate.total *. 1e6);
+      ])
     Cell.Genlib.all_libraries
 
 let check_cmd =
@@ -164,8 +234,10 @@ let check_cmd =
     let doc = "BLIF file to parse, validate and map." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file patterns =
-    run_blif_pipeline std ~patterns file;
+  let run file patterns seed =
+    validate_patterns patterns;
+    validate_seed seed;
+    let (_ : (string * float) list) = run_blif_pipeline std ~patterns ~seed file in
     0
   in
   Cmd.v
@@ -174,7 +246,7 @@ let check_cmd =
          "Parse a BLIF netlist, run the well-formedness checker and map it. \
           Malformed input exits non-zero with a typed error, never a \
           backtrace.")
-    Term.(const run $ file $ patterns_arg)
+    Term.(const run $ file $ patterns_arg $ seed_arg)
 
 let mode_arg =
   let keep_going =
@@ -191,6 +263,11 @@ let mode_arg =
   in
   Arg.(value & vflag Experiments.Harness.Keep_going [ keep_going; strict ])
 
+(* ------------------------------------------------------------------ *)
+(* `all`: the supervised run. *)
+
+let manifest_path_of run_name = Filename.concat (Filename.concat "_runs" run_name) "manifest.json"
+
 let all_cmd =
   let only_arg =
     let doc = "Run only the named experiments (repeatable); see the list in each entry name." in
@@ -204,38 +281,124 @@ let all_cmd =
     in
     Arg.(value & opt_all string [] & info [ "with-blif" ] ~docv:"FILE" ~doc)
   in
-  let run patterns mode only with_blifs =
+  let timeout_arg =
+    let doc =
+      "Wall-clock watchdog per experiment attempt, in seconds; a worker \
+       exceeding it is killed and reported as experiment/worker-timeout. 0 \
+       disables the watchdog."
+    in
+    Arg.(value & opt float 900.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Extra attempts after a worker crash or timeout. Retries run degraded: \
+       pattern-driven experiments shed half their pattern budget and the \
+       result is tagged as degraded in the summary and manifest."
+    in
+    Arg.(value & opt int 1 & info [ "retries" ] ~doc)
+  in
+  let no_supervise_arg =
+    let doc =
+      "Run experiments in-process instead of in forked workers (no crash \
+       isolation, no watchdog). Mainly for debugging."
+    in
+    Arg.(value & flag & info [ "no-supervise" ] ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Skip experiments the run manifest already records as passed with the \
+       same seed and pattern count; only failed or missing entries re-run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let run_name_arg =
+    let doc = "Run name; the manifest is written to _runs/$(docv)/manifest.json." in
+    Arg.(value & opt string "all" & info [ "run" ] ~docv:"NAME" ~doc)
+  in
+  let inject_crash_arg =
+    let doc =
+      "Fault injection (testing the supervisor): SIGKILL the worker of the \
+       named experiment on every attempt."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-crash" ] ~docv:"NAME" ~doc)
+  in
+  let inject_hang_arg =
+    let doc =
+      "Fault injection: make the named experiment's worker hang until the \
+       watchdog kills it."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-hang" ] ~docv:"NAME" ~doc)
+  in
+  let inject_flaky_arg =
+    let doc =
+      "Fault injection: SIGKILL the named experiment's worker on the first \
+       attempt only, so the degraded retry succeeds."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-flaky" ] ~docv:"NAME" ~doc)
+  in
+  let run patterns seed mode only with_blifs timeout retries no_supervise
+      resume run_name inj_crash inj_hang inj_flaky =
+    validate_patterns patterns;
+    validate_seed seed;
+    if timeout < 0.0 then
+      R.failf R.Cli R.Validation_error "--timeout must be >= 0 (got %g)" timeout;
+    if retries < 0 then
+      R.failf R.Cli R.Validation_error "--retries must be >= 0 (got %d)" retries;
     let entry = Experiments.Harness.entry in
+    let budget ~degraded = if degraded then max 1 (patterns / 2) else patterns in
     let entries =
       [
-        entry "libchar" "library characterization (E2, E4-E6)" (fun ppf ->
-            Experiments.Exp_libchar.print ppf (Experiments.Exp_libchar.run ()));
-        entry "patterns" "I_off pattern census (E3, E8, A1)" (fun ppf ->
-            Experiments.Exp_patterns.print ppf (Experiments.Exp_patterns.run ()));
-        entry "tgate" "transmission-gate transfer study (E7)" (fun ppf ->
-            Experiments.Exp_tgate.print ppf (Experiments.Exp_tgate.run ()));
-        entry "delay" "intrinsic inverter delays (E9)" (fun ppf ->
-            Experiments.Exp_delay.print ppf (Experiments.Exp_delay.run ()));
-        entry "dynamic" "dynamic / reconfigurable cells (E10)" (fun ppf ->
-            Experiments.Exp_dynamic.print ppf (Experiments.Exp_dynamic.run ()));
-        entry "pla" "programmable ambipolar PLA (E11)" (fun ppf ->
-            Experiments.Exp_pla.print ppf (Experiments.Exp_pla.run ()));
-        entry "seq" "clocked CRC engine (E12)" (fun ppf ->
-            Experiments.Exp_seq.print ppf (Experiments.Exp_seq.run ()));
-        entry "sensitivity" "supply/temperature/variation (E13-E15)" (fun ppf ->
-            Experiments.Exp_sensitivity.print ppf (Experiments.Exp_sensitivity.run ()));
-        entry "table1" "Table 1 reproduction (E1)" (fun ppf ->
-            let summary = Experiments.Exp_table1.run ~patterns () in
-            Experiments.Exp_table1.print ppf summary);
-        entry "ablations" "A2-A5 ablations" (fun ppf ->
-            Experiments.Ablations.print ppf ());
+        entry "libchar" "library characterization (E2, E4-E6)" (fun ~degraded:_ ppf ->
+            let r = Experiments.Exp_libchar.run () in
+            Experiments.Exp_libchar.print ppf r;
+            Experiments.Exp_libchar.scalars r);
+        entry "patterns" "I_off pattern census (E3, E8, A1)" (fun ~degraded:_ ppf ->
+            let r = Experiments.Exp_patterns.run () in
+            Experiments.Exp_patterns.print ppf r;
+            Experiments.Exp_patterns.scalars r);
+        entry "tgate" "transmission-gate transfer study (E7)" (fun ~degraded:_ ppf ->
+            let r = Experiments.Exp_tgate.run () in
+            Experiments.Exp_tgate.print ppf r;
+            Experiments.Exp_tgate.scalars r);
+        entry "delay" "intrinsic inverter delays (E9)" (fun ~degraded:_ ppf ->
+            let r = Experiments.Exp_delay.run () in
+            Experiments.Exp_delay.print ppf r;
+            Experiments.Exp_delay.scalars r);
+        entry "dynamic" "dynamic / reconfigurable cells (E10)" (fun ~degraded:_ ppf ->
+            let r = Experiments.Exp_dynamic.run () in
+            Experiments.Exp_dynamic.print ppf r;
+            Experiments.Exp_dynamic.scalars r);
+        entry "pla" "programmable ambipolar PLA (E11)" (fun ~degraded:_ ppf ->
+            let r = Experiments.Exp_pla.run () in
+            Experiments.Exp_pla.print ppf r;
+            Experiments.Exp_pla.scalars r);
+        entry "seq" "clocked CRC engine (E12)" (fun ~degraded ppf ->
+            let cycles = if degraded then 250 else 500 in
+            let rows = Experiments.Exp_seq.run ~cycles () in
+            Experiments.Exp_seq.print ppf rows;
+            Experiments.Exp_seq.scalars rows);
+        entry "sensitivity" "supply/temperature/variation (E13-E15)" (fun ~degraded ppf ->
+            let mc = if degraded then 500 else 1000 in
+            let r = Experiments.Exp_sensitivity.run ~mc_samples:mc () in
+            Experiments.Exp_sensitivity.print ppf r;
+            Experiments.Exp_sensitivity.scalars r);
+        entry "table1" "Table 1 reproduction (E1)" (fun ~degraded ppf ->
+            let summary =
+              Experiments.Exp_table1.run ~patterns:(budget ~degraded) ~seed ()
+            in
+            Experiments.Exp_table1.print ppf summary;
+            Experiments.Exp_table1.scalars summary);
+        entry "ablations" "A2-A5 ablations" (fun ~degraded:_ ppf ->
+            Experiments.Ablations.print ppf ();
+            []);
       ]
       @ List.map
           (fun path ->
             entry
               ("blif:" ^ Filename.basename path)
               ("external BLIF pipeline on " ^ path)
-              (fun ppf -> run_blif_pipeline ppf ~patterns path))
+              (fun ~degraded ppf ->
+                run_blif_pipeline ppf ~patterns:(budget ~degraded) ~seed path))
           with_blifs
     in
     let entries =
@@ -244,33 +407,162 @@ let all_cmd =
       | names ->
           List.filter (fun (e : Experiments.Harness.entry) -> List.mem e.name names) entries
     in
+    (* Fault injection runs inside the worker: the supervisor must reap the
+       death / timeout and keep the run alive. *)
+    let inject (e : Experiments.Harness.entry) =
+      let crash = List.mem e.name inj_crash in
+      let hang = List.mem e.name inj_hang in
+      let flaky = List.mem e.name inj_flaky in
+      if not (crash || hang || flaky) then e
+      else
+        {
+          e with
+          run =
+            (fun ~degraded ppf ->
+              if crash || (flaky && not degraded) then
+                Unix.kill (Unix.getpid ()) Sys.sigkill;
+              if hang then
+                while true do
+                  Unix.sleepf 3600.0
+                done;
+              e.run ~degraded ppf);
+        }
+    in
+    let entries = List.map inject entries in
     if entries = [] then begin
       Format.eprintf "cntpower all: no experiment matches the --only filter@.";
       R.exit_code (R.make R.Cli R.Validation_error "empty experiment selection")
     end
     else begin
-      let summary = Experiments.Harness.run_all ~mode std entries in
+      let policy =
+        if no_supervise then None
+        else Some { S.timeout_s = timeout; retries; degrade = true }
+      in
+      let manifest_path = manifest_path_of run_name in
+      let config =
+        {
+          Experiments.Harness.mode;
+          policy;
+          run_name;
+          manifest_path = Some manifest_path;
+          resume;
+          seed;
+          patterns;
+        }
+      in
+      let summary = Experiments.Harness.run_all ~config std entries in
       Experiments.Harness.print_summary std summary;
+      Format.fprintf std "manifest: %s@." manifest_path;
       Experiments.Harness.exit_status summary
     end
   in
   Cmd.v
     (Cmd.info "all"
        ~doc:
-         "Run every experiment (E1-E15 and the ablations) through the \
-          fault-isolating harness, with a final pass/fail summary.")
-    Term.(const run $ patterns_arg $ mode_arg $ only_arg $ with_blif_arg)
+         "Run every experiment (E1-E15 and the ablations) in supervised \
+          worker processes with watchdog timeouts, checkpointing each \
+          result to the run manifest; --resume continues an interrupted \
+          run, with a final pass/fail summary.")
+    Term.(
+      const run $ patterns_arg $ seed_arg $ mode_arg $ only_arg $ with_blif_arg
+      $ timeout_arg $ retries_arg $ no_supervise_arg $ resume_arg
+      $ run_name_arg $ inject_crash_arg $ inject_hang_arg $ inject_flaky_arg)
+
+(* ------------------------------------------------------------------ *)
+(* `golden`: the regression gate over a run manifest. *)
+
+let golden_cmd =
+  let manifest_arg =
+    let doc = "Run manifest to read (written by `cntpower all`)." in
+    Arg.(value & opt string (manifest_path_of "all") & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let golden_arg =
+    let doc = "Golden metrics file." in
+    Arg.(value & opt string "golden/golden.json" & info [ "golden" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc = "Compare the manifest against the golden file (default action)." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let update_arg =
+    let doc = "Regenerate the golden file from the manifest instead of checking." in
+    Arg.(value & flag & info [ "update" ] ~doc)
+  in
+  let rtol_arg =
+    let doc =
+      "Relative tolerance assigned to non-integral metrics on --update \
+       (integral metrics are pinned exactly)."
+    in
+    Arg.(value & opt float 0.1 & info [ "rtol" ] ~doc)
+  in
+  let only_arg =
+    let doc = "On --update, restrict the golden set to the named experiments (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME" ~doc)
+  in
+  let run manifest golden check update rtol only =
+    ignore check;
+    if rtol < 0.0 || rtol > 1.0 then
+      R.failf R.Cli R.Validation_error "--rtol must be in [0, 1] (got %g)" rtol;
+    let m = R.get_exn (C.load ~path:manifest) in
+    if update then begin
+      let experiments = match only with [] -> None | names -> Some names in
+      let metrics = C.golden_of_manifest ~rtol ?experiments m in
+      if metrics = [] then
+        R.failf
+          ~context:[ ("manifest", manifest) ]
+          R.Cli R.Validation_error
+          "manifest has no passing entries to turn into golden metrics";
+      R.get_exn (C.save_golden ~path:golden metrics);
+      Format.fprintf std "golden: wrote %d metrics from %d manifest entries to %s@."
+        (List.length metrics) (List.length m.C.entries) golden;
+      0
+    end
+    else begin
+      let metrics = R.get_exn (C.load_golden ~path:golden) in
+      List.iter
+        (fun (e : C.entry) ->
+          if e.C.status = C.Degraded then
+            Format.fprintf std
+              "golden: note: %s is a degraded result (checked all the same)@."
+              e.C.experiment)
+        m.C.entries;
+      match C.check_golden m metrics with
+      | [] ->
+          Format.fprintf std "golden: OK — %d metrics within tolerance (%s)@."
+            (List.length metrics) golden;
+          0
+      | drifts ->
+          List.iter (fun d -> Format.eprintf "golden: DRIFT %a@." C.pp_drift d) drifts;
+          let e =
+            R.makef
+              ~context:[ ("manifest", manifest); ("golden", golden) ]
+              R.Cli R.Mismatch "%d of %d golden metrics drifted out of tolerance"
+              (List.length drifts) (List.length metrics)
+          in
+          Format.eprintf "cntpower: %a@." R.pp e;
+          R.exit_code e
+    end
+  in
+  Cmd.v
+    (Cmd.info "golden"
+       ~doc:
+         "Check a run manifest against committed golden results (paper's \
+          headline numbers) with per-metric relative tolerances; nonzero \
+          exit on drift. --update regenerates the golden file.")
+    Term.(
+      const run $ manifest_arg $ golden_arg $ check_arg $ update_arg $ rtol_arg
+      $ only_arg)
 
 let main =
   Cmd.group
-    (Cmd.info "cntpower" ~version:"1.0.0"
+    (Cmd.info "cntpower" ~version:"1.1.0"
        ~doc:
          "Power consumption of logic circuits in ambipolar carbon nanotube \
           technology (DATE 2010) - reproduction harness.")
     [
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
-      check_cmd; all_cmd;
+      check_cmd; all_cmd; golden_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

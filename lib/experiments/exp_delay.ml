@@ -35,3 +35,10 @@ let print ppf r =
   Format.fprintf ppf
     "Measured MOSFET/CNTFET intrinsic delay ratio: %.2fx (paper, citing Deng et al.: 5x)@."
     r.ratio
+
+let scalars r =
+  [
+    ("ratio", r.ratio);
+    ("cmos_delay_ps", r.cmos_delay *. 1e12);
+    ("cntfet_delay_ps", r.cntfet_delay *. 1e12);
+  ]

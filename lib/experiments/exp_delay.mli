@@ -17,3 +17,6 @@ type result = {
 
 val run : unit -> result
 val print : Format.formatter -> result -> unit
+
+val scalars : result -> (string * float) list
+(** Manifest scalars: the intrinsic delay ratio and both measured delays. *)

@@ -49,3 +49,13 @@ let print ppf r =
   Format.fprintf ppf
     "the precharge/evaluate discipline burns the XOR-embedding advantage, which is why@.";
   Format.fprintf ppf "the paper builds its library in static transmission-gate logic.@."
+
+let scalars r =
+  [
+    ("reconf_functions", float_of_int r.reconf_functions);
+    ("reconf_transistors", float_of_int r.reconf_transistors);
+    ("gnor2_functions", float_of_int r.gnor2_functions);
+    ("gnor2_transistors", float_of_int r.gnor2_transistors);
+    ("gnor2_dynamic_alpha", r.gnor2_dynamic_alpha);
+    ("static_gnor2_alpha", r.static_gnor2_alpha);
+  ]

@@ -20,3 +20,6 @@ type result = {
 
 val run : unit -> result
 val print : Format.formatter -> result -> unit
+
+val scalars : result -> (string * float) list
+(** Manifest scalars: reconfigurable-cell counts and activity factors. *)

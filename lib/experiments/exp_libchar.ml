@@ -91,3 +91,19 @@ let print ppf r =
   Format.fprintf ppf
     "Static power ratio CMOS/CNTFET: %.1fx (paper: about one order of magnitude)@."
     (r.cmos.C.avg_static /. r.generalized.C.avg_static)
+
+(* Key scalar outputs for the run manifest / golden regression gate.
+   Capacitances are reported in aF so the exact-integer golden rule
+   pins the paper's 36/52 aF claim precisely. *)
+let scalars r =
+  [
+    ("saving_vs_cmos", r.saving_vs_cmos);
+    ("saving_conv_vs_cmos", r.saving_conv_vs_cmos);
+    ("alpha_nand2", r.alpha_nand2);
+    ("alpha_nor2", r.alpha_nor2);
+    ("alpha_xor2", r.alpha_xor2);
+    ("pg_over_ps_cmos", r.pg_over_ps_cmos);
+    ("pg_over_ps_cntfet", r.pg_over_ps_cntfet);
+    ("inv_cap_cntfet_aF", r.inv_cap_cntfet *. 1e18);
+    ("inv_cap_cmos_aF", r.inv_cap_cmos *. 1e18);
+  ]

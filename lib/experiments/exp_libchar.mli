@@ -21,3 +21,7 @@ type result = {
 
 val run : unit -> result
 val print : Format.formatter -> result -> unit
+
+val scalars : result -> (string * float) list
+(** Manifest scalars for the golden gate (savings, alphas, PG/PS shares,
+    inverter capacitances in aF). *)

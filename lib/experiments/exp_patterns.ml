@@ -76,3 +76,12 @@ let print ppf r =
   Format.fprintf ppf "E8: NOR3 input vectors sharing a pattern: %a@."
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_pair)
     r.nor3_same_pattern_vectors
+
+let scalars r =
+  [
+    ("n_patterns", float_of_int (List.length r.patterns));
+    ("nor3_parallel_over_series", r.nor3_parallel /. r.nor3_series);
+    ("shared_pattern_pairs", float_of_int (List.length r.nor3_same_pattern_vectors));
+    ("total_vectors", float_of_int r.total_vectors);
+    ("dc_solves", float_of_int r.dc_solves);
+  ]

@@ -16,3 +16,7 @@ type result = {
 
 val run : unit -> result
 val print : Format.formatter -> result -> unit
+
+val scalars : result -> (string * float) list
+(** Manifest scalars: pattern count (the paper's 26), NOR3 leakage ratio,
+    census sizes. *)

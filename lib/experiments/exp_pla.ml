@@ -108,3 +108,12 @@ let print ppf rows =
     };
   Format.fprintf ppf
     "The ambipolar arrays drop every complement input column and stay reprogrammable in the field [6].@."
+
+let scalars rows =
+  let sum f = float_of_int (List.fold_left (fun acc r -> acc + f r) 0 rows) in
+  [
+    ("n_functions", float_of_int (List.length rows));
+    ("ambipolar_transistors_total", sum (fun r -> r.ambipolar_transistors));
+    ("cmos_transistors_total", sum (fun r -> r.cmos_transistors));
+    ("stdcell_gates_total", sum (fun r -> r.stdcell_gates));
+  ]

@@ -24,3 +24,6 @@ type row = {
 
 val run : unit -> row list
 val print : Format.formatter -> row list -> unit
+
+val scalars : row list -> (string * float) list
+(** Manifest scalars: transistor totals for the ambipolar and CMOS arrays. *)

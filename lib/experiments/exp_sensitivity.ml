@@ -155,3 +155,12 @@ let print ppf r =
   Format.fprintf ppf
     "for both corners, but CNTFET leakage stays an order of magnitude below CMOS across@.";
   Format.fprintf ppf "supply, temperature and variation — the paper's static-power story is robust.@."
+
+let scalars r =
+  [
+    ("vdd_points", float_of_int (List.length r.vdd_sweep));
+    ("temp_points", float_of_int (List.length r.temp_sweep));
+    ("mc_cnt_mean_over_nominal", r.mc_cnt.mean /. r.mc_cnt.nominal);
+    ("mc_cnt_p95_over_mean", r.mc_cnt.p95 /. r.mc_cnt.mean);
+    ("mc_cmos_mean_over_nominal", r.mc_cmos.mean /. r.mc_cmos.nominal);
+  ]

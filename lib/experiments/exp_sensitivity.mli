@@ -51,3 +51,6 @@ type result = {
 
 val run : ?mc_samples:int -> unit -> result
 val print : Format.formatter -> result -> unit
+
+val scalars : result -> (string * float) list
+(** Manifest scalars: sweep sizes and Monte-Carlo distribution ratios. *)

@@ -49,3 +49,13 @@ let print ppf rows =
         (Report.pct (1.0 -. (gen.report.S.epc /. cmos.report.S.epc)))
         (Report.times (cmos.report.S.min_period /. gen.report.S.min_period))
   | _ -> ()
+
+let scalars rows =
+  List.concat_map
+    (fun r ->
+      [
+        (r.library ^ ".gates", float_of_int r.report.Techmap.Seqmap.gates);
+        (r.library ^ ".epc_fJ", r.report.Techmap.Seqmap.epc *. 1e15);
+        (r.library ^ ".clock_power_uW", r.report.Techmap.Seqmap.clock_power *. 1e6);
+      ])
+    rows

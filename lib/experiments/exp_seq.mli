@@ -15,3 +15,7 @@ type row = { library : string; report : Techmap.Seqmap.report }
 
 val run : ?data_width:int -> ?cycles:int -> unit -> row list
 val print : Format.formatter -> row list -> unit
+
+val scalars : row list -> (string * float) list
+(** Manifest scalars per library: gate count, energy per cycle (fJ), clock
+    power (uW). *)

@@ -10,7 +10,7 @@ type summary = {
   improvement_vs_cmos : (string * (string * float) list) list;
 }
 
-let run ?(patterns = E.default_patterns) ?(circuits = Circuits.Suite.all) ?(verify = true) () =
+let run ?(patterns = E.default_patterns) ?(seed = 42L) ?(circuits = Circuits.Suite.all) ?(verify = true) () =
   let matchlibs = List.map (fun lib -> (lib, Techmap.Matchlib.build lib)) G.all_libraries in
   let rows =
     List.map
@@ -34,7 +34,7 @@ let run ?(patterns = E.default_patterns) ?(circuits = Circuits.Suite.all) ?(veri
                   Runtime.Cnt_error.Techmap Runtime.Cnt_error.Mismatch
                   "Table1: %s mapped with %s is not equivalent"
                   entry.Circuits.Suite.name lib.G.name;
-              (lib.G.name, E.run ~patterns mapped))
+              (lib.G.name, E.run ~patterns ~seed mapped))
             matchlibs
         in
         {
@@ -150,3 +150,25 @@ let print ppf summary =
     "(paper: GEN vs CMOS gates -24.2%%, delay 7.1x, PD -53.4%%, PS -94.5%%, PT -57.1%%, EDP 19.5x;@.";
   Format.fprintf ppf
     " CNV vs CMOS gates -3.2%%, delay 5.1x, PD -30.9%%, PS -92.7%%, PT -36.7%%, EDP 8.1x)@."
+
+(* The headline claims of Table 1 as manifest scalars: per-library averages
+   plus the improvement-vs-CMOS percentages (PT saving, EDP ratio). *)
+let scalars summary =
+  let averages =
+    List.concat_map
+      (fun (lib, (avg : E.report)) ->
+        [
+          (lib ^ ".gates", float_of_int avg.E.gates);
+          (lib ^ ".delay_ps", avg.E.delay *. 1e12);
+          (lib ^ ".total_uW", avg.E.total *. 1e6);
+          (lib ^ ".edp_1e-24Js", avg.E.edp *. 1e24);
+        ])
+      summary.averages
+  in
+  let improvements =
+    List.concat_map
+      (fun (lib, metrics) ->
+        List.map (fun (m, v) -> (lib ^ ".vs_cmos." ^ m, v)) metrics)
+      summary.improvement_vs_cmos
+  in
+  averages @ improvements

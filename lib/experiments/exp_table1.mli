@@ -23,13 +23,19 @@ type summary = {
 
 val run :
   ?patterns:int ->
+  ?seed:int64 ->
   ?circuits:Circuits.Suite.entry list ->
   ?verify:bool ->
   unit ->
   summary
-(** Defaults: 640 K patterns, the full 12-circuit suite, with verification.
-    Raises [Failure] if a mapped netlist fails co-simulation. *)
+(** Defaults: 640 K patterns, estimation seed 42, the full 12-circuit
+    suite, with verification. Raises [Failure] if a mapped netlist fails
+    co-simulation. *)
 
 val print : Format.formatter -> summary -> unit
 (** Render the Table-1-shaped report (gate count, delay, P_D, P_S, P_T, EDP
     per library, plus the average and improvement rows). *)
+
+val scalars : summary -> (string * float) list
+(** Manifest scalars: per-library averages ([<lib>.total_uW], ...) and the
+    improvement-vs-CMOS metrics ([<lib>.vs_cmos.pt], ...). *)

@@ -56,3 +56,16 @@ let print ppf configs =
             |])
           configs;
     }
+
+let scalars configs =
+  let passing = List.filter (fun c -> c.passing) configs in
+  let max_drop =
+    List.fold_left
+      (fun acc c -> Float.max acc (Float.abs (c.vout -. c.vin)))
+      0.0 passing
+  in
+  [
+    ("n_configs", float_of_int (List.length configs));
+    ("n_passing", float_of_int (List.length passing));
+    ("max_passing_drop_mV", max_drop *. 1e3);
+  ]

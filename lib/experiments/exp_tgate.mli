@@ -13,3 +13,6 @@ type config = {
 
 val run : unit -> config list
 val print : Format.formatter -> config list -> unit
+
+val scalars : config list -> (string * float) list
+(** Manifest scalars: configuration counts and the worst full-swing drop. *)

@@ -1,44 +1,182 @@
 module E = Runtime.Cnt_error
+module C = Runtime.Checkpoint
+module S = Runtime.Supervisor
 
 type mode = Keep_going | Strict
 
-type status = Passed of float | Failed of float * E.t | Skipped
+type status =
+  | Passed of {
+      wall : float;
+      scalars : (string * float) list;
+      degraded : bool;
+      attempts : int;
+    }
+  | Failed of { wall : float; attempts : int; error : E.t }
+  | Skipped
+  | Resumed of C.entry
 
-type entry = { name : string; doc : string; run : Format.formatter -> unit }
+type entry = {
+  name : string;
+  doc : string;
+  run : degraded:bool -> Format.formatter -> (string * float) list;
+}
+
+type config = {
+  mode : mode;
+  policy : S.policy option;
+  run_name : string;
+  manifest_path : string option;
+  resume : bool;
+  seed : int64;
+  patterns : int;
+}
+
+let default_config =
+  {
+    mode = Keep_going;
+    policy = None;
+    run_name = "all";
+    manifest_path = None;
+    resume = false;
+    seed = 42L;
+    patterns = Techmap.Estimate.default_patterns;
+  }
 
 type summary = { mode : mode; results : (string * status) list; aborted : bool }
 
 let entry name doc run = { name; doc; run }
 
-let run_one ppf e =
+let run_one config ppf e =
   Format.fprintf ppf "@.=== %s: %s ===@." e.name e.doc;
-  let t0 = Sys.time () in
-  match E.protect ~stage:E.Experiment (fun () -> e.run ppf) with
-  | Ok () -> Passed (Sys.time () -. t0)
-  | Result.Error err ->
-      let err = E.with_context err [ ("experiment", e.name) ] in
-      Format.fprintf ppf "FAILED %s: %a@." e.name E.pp err;
-      Failed (Sys.time () -. t0, err)
+  match config.policy with
+  | None -> (
+      let t0 = Unix.gettimeofday () in
+      match
+        E.protect ~stage:E.Experiment (fun () -> e.run ~degraded:false ppf)
+      with
+      | Ok scalars ->
+          Passed
+            {
+              wall = Unix.gettimeofday () -. t0;
+              scalars;
+              degraded = false;
+              attempts = 1;
+            }
+      | Result.Error err ->
+          Failed
+            {
+              wall = Unix.gettimeofday () -. t0;
+              attempts = 1;
+              error = E.with_context err [ ("experiment", e.name) ];
+            })
+  | Some policy -> (
+      let outcome =
+        S.run ~policy ~name:e.name (fun ~degraded -> e.run ~degraded ppf)
+      in
+      match outcome.S.value with
+      | Ok scalars ->
+          Passed
+            {
+              wall = outcome.S.wall_time;
+              scalars;
+              degraded = outcome.S.degraded;
+              attempts = outcome.S.attempts;
+            }
+      | Result.Error err ->
+          Failed
+            {
+              wall = outcome.S.wall_time;
+              attempts = outcome.S.attempts;
+              error = E.with_context err [ ("experiment", e.name) ];
+            })
 
-let run_all ~mode ppf entries =
+(* A passing manifest entry resumes only if it was produced by the same
+   workload: same seed and same pattern count. *)
+let resumable config manifest name =
+  if not config.resume then None
+  else
+    match C.find manifest name with
+    | Some en
+      when (en.C.status = C.Passed || en.C.status = C.Degraded)
+           && en.C.patterns = config.patterns
+           && en.C.seed = config.seed ->
+        Some en
+    | _ -> None
+
+let checkpoint config manifest name status =
+  match config.manifest_path with
+  | None -> ()
+  | Some path ->
+      let updated =
+        match status with
+        | Passed { wall; scalars; degraded; attempts } ->
+            Some
+              (C.entry ~experiment:name ~seed:config.seed
+                 ~patterns:config.patterns ~wall_time:wall ~attempts
+                 ~status:(if degraded then C.Degraded else C.Passed)
+                 scalars)
+        | Failed { wall; attempts; error } ->
+            Some
+              (C.entry ~experiment:name ~seed:config.seed
+                 ~patterns:config.patterns ~wall_time:wall ~attempts
+                 ~status:C.Failed ~error:(E.to_string error) [])
+        | Skipped | Resumed _ -> None
+      in
+      (match updated with
+      | None -> ()
+      | Some en -> (
+          manifest := C.add !manifest en;
+          match C.save ~path !manifest with
+          | Ok () -> ()
+          | Result.Error err ->
+              Format.eprintf "harness: cannot checkpoint to %s: %a@." path
+                E.pp err))
+
+let initial_manifest config =
+  match config.manifest_path with
+  | Some path when config.resume && Sys.file_exists path -> (
+      match C.load ~path with
+      | Ok m -> m
+      | Result.Error err ->
+          (* A corrupt manifest must not poison the run: warn, start
+             fresh, re-run everything. *)
+          Format.eprintf
+            "harness: ignoring unreadable manifest (%a); running from \
+             scratch@."
+            E.pp err;
+          C.empty ~run_name:config.run_name)
+  | _ -> C.empty ~run_name:config.run_name
+
+let run_all ?(config = default_config) ppf entries =
+  let manifest = ref (initial_manifest config) in
   let aborted = ref false in
   let results =
     List.map
       (fun e ->
         if !aborted then (e.name, Skipped)
         else
-          let status = run_one ppf e in
-          (match (status, mode) with
-          | Failed _, Strict -> aborted := true
-          | _ -> ());
-          (e.name, status))
+          match resumable config !manifest e.name with
+          | Some en ->
+              Format.fprintf ppf "@.=== %s: resumed from manifest (%s) ===@."
+                e.name (C.status_name en.C.status);
+              (e.name, Resumed en)
+          | None ->
+              let status = run_one config ppf e in
+              (match status with
+              | Failed { error; _ } ->
+                  Format.fprintf ppf "FAILED %s: %a@." e.name E.pp error;
+                  if config.mode = Strict then aborted := true
+              | _ -> ());
+              checkpoint config manifest e.name status;
+              (e.name, status))
       entries
   in
-  { mode; results; aborted = !aborted }
+  { mode = config.mode; results; aborted = !aborted }
 
 let failures s =
   List.filter_map
-    (fun (name, st) -> match st with Failed (_, e) -> Some (name, e) | _ -> None)
+    (fun (name, st) ->
+      match st with Failed { error; _ } -> Some (name, error) | _ -> None)
     s.results
 
 let print_summary ppf s =
@@ -46,19 +184,31 @@ let print_summary ppf s =
   List.iter
     (fun (name, st) ->
       match st with
-      | Passed dt -> Format.fprintf ppf "ok      %-14s %6.1fs@." name dt
-      | Failed (dt, e) -> Format.fprintf ppf "FAILED  %-14s %6.1fs  %a@." name dt E.pp e
-      | Skipped -> Format.fprintf ppf "skipped %-14s (strict mode abort)@." name)
+      | Passed { wall; degraded = false; _ } ->
+          Format.fprintf ppf "ok      %-14s %6.1fs@." name wall
+      | Passed { wall; degraded = true; attempts; _ } ->
+          Format.fprintf ppf "ok      %-14s %6.1fs  (degraded, %d attempts)@."
+            name wall attempts
+      | Resumed en ->
+          Format.fprintf ppf "resumed %-14s (manifest, %s)@." name
+            (C.status_name en.C.status)
+      | Failed { wall; error; _ } ->
+          Format.fprintf ppf "FAILED  %-14s %6.1fs  %a@." name wall E.pp error
+      | Skipped ->
+          Format.fprintf ppf "skipped %-14s (strict mode abort)@." name)
     s.results;
-  let failed = List.length (failures s) in
-  let passed =
-    List.length (List.filter (fun (_, st) -> match st with Passed _ -> true | _ -> false) s.results)
+  let count p = List.length (List.filter (fun (_, st) -> p st) s.results) in
+  let failed = count (function Failed _ -> true | _ -> false) in
+  let passed = count (function Passed _ -> true | _ -> false) in
+  let resumed = count (function Resumed _ -> true | _ -> false) in
+  let degraded =
+    count (function Passed { degraded; _ } -> degraded | _ -> false)
   in
-  let skipped =
-    List.length (List.filter (fun (_, st) -> st = Skipped) s.results)
-  in
-  Format.fprintf ppf "%d passed, %d failed%s@." passed failed
+  let skipped = count (function Skipped -> true | _ -> false) in
+  Format.fprintf ppf "%d passed, %d failed%s%s%s@." passed failed
     (if skipped > 0 then Printf.sprintf ", %d skipped" skipped else "")
+    (if resumed > 0 then Printf.sprintf ", %d resumed" resumed else "")
+    (if degraded > 0 then Printf.sprintf ", %d degraded" degraded else "")
 
 let exit_status s =
   if failures s = [] then 0 else if s.aborted then 11 else 10

@@ -1,0 +1,111 @@
+(** Durable run manifests and the golden-result regression gate.
+
+    A run of [cntpower all] writes `_runs/<name>/manifest.json` after
+    every completed experiment: name, seed, pattern count, wall time, a
+    digest of the scalar outputs and the scalars themselves. A later
+    invocation with [--resume] skips entries already recorded as passed
+    (same seed and pattern count), and [cntpower golden --check] compares
+    the manifest scalars against a committed golden file with per-metric
+    relative tolerances — the paper's headline numbers as a machine
+    regression gate.
+
+    The JSON reader/writer is self-contained (no external dependency) and
+    accepts standard JSON; malformed input surfaces as a typed
+    [Parse_error] with position context, never an exception. *)
+
+(** Minimal JSON document model. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_of_string : string -> (json, Cnt_error.t) result
+val json_to_string : json -> string
+(** Pretty-printed with two-space indentation and a trailing newline. *)
+
+type status = Passed | Degraded | Failed
+
+val status_name : status -> string
+
+type entry = {
+  experiment : string;
+  seed : int64;
+  patterns : int;
+  wall_time : float;  (** s *)
+  attempts : int;
+  status : status;
+  error : string option;  (** rendered {!Cnt_error.t} for [Failed] *)
+  digest : string;  (** MD5 hex over the canonical scalar rendering *)
+  scalars : (string * float) list;
+}
+
+type manifest = {
+  run_name : string;
+  created : float;  (** unix epoch seconds of the first write *)
+  entries : entry list;  (** completion order *)
+}
+
+val empty : run_name:string -> manifest
+
+val digest_scalars : (string * float) list -> string
+
+val entry :
+  experiment:string ->
+  seed:int64 ->
+  patterns:int ->
+  wall_time:float ->
+  attempts:int ->
+  status:status ->
+  ?error:string ->
+  (string * float) list ->
+  entry
+(** Builds an entry, computing the digest from the scalars. *)
+
+val add : manifest -> entry -> manifest
+(** Append, replacing any previous entry for the same experiment. *)
+
+val find : manifest -> string -> entry option
+
+val save : path:string -> manifest -> (unit, Cnt_error.t) result
+(** Atomic: writes a temp file in the target directory (created if
+    missing) and renames it over [path]. *)
+
+val load : path:string -> (manifest, Cnt_error.t) result
+
+(** {1 Golden results} *)
+
+type golden_metric = {
+  g_experiment : string;
+  g_metric : string;
+  g_value : float;
+  g_rtol : float;  (** relative tolerance; [0.] means exact *)
+}
+
+type drift = {
+  d_experiment : string;
+  d_metric : string;
+  d_expected : float;
+  d_actual : float option;  (** [None]: metric or experiment missing *)
+  d_rtol : float;
+}
+
+val golden_of_manifest :
+  ?rtol:float -> ?experiments:string list -> manifest -> golden_metric list
+(** One metric per scalar of every passed entry (optionally restricted to
+    [experiments]). Integral values get tolerance [0.] — counts like the
+    26-pattern census must match exactly — everything else [rtol]
+    (default 0.1). *)
+
+val save_golden : path:string -> golden_metric list -> (unit, Cnt_error.t) result
+val load_golden : path:string -> (golden_metric list, Cnt_error.t) result
+
+val check_golden : manifest -> golden_metric list -> drift list
+(** Empty list = gate passes. A golden metric whose experiment or scalar
+    is absent from the manifest (or recorded as [Failed]) is a drift with
+    [d_actual = None]; a present value drifts when
+    [|actual - expected| > rtol * max(|expected|, tiny)]. *)
+
+val pp_drift : Format.formatter -> drift -> unit

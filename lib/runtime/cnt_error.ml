@@ -22,6 +22,8 @@ type code =
   | Mismatch
   | Unsupported
   | Io_error
+  | Worker_timeout
+  | Worker_killed
   | Internal
 
 type t = {
@@ -76,6 +78,8 @@ let code_name = function
   | Mismatch -> "mismatch"
   | Unsupported -> "unsupported"
   | Io_error -> "io-error"
+  | Worker_timeout -> "worker-timeout"
+  | Worker_killed -> "worker-killed"
   | Internal -> "internal"
 
 let pp ppf e =
@@ -127,4 +131,6 @@ let exit_code e =
   | Mismatch -> 22
   | Unsupported -> 23
   | Io_error -> 24
+  | Worker_timeout -> 25
+  | Worker_killed -> 26
   | Internal -> 27

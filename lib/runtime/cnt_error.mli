@@ -35,6 +35,8 @@ type code =
   | Mismatch  (** equivalence check or cross-validation failed *)
   | Unsupported  (** valid input outside the supported subset *)
   | Io_error  (** file system failure *)
+  | Worker_timeout  (** a supervised worker exceeded its wall-clock watchdog *)
+  | Worker_killed  (** a supervised worker died on a signal or nonzero exit *)
   | Internal  (** wrapped unexpected exception; a bug if user-visible *)
 
 type t = {
@@ -103,4 +105,5 @@ val get_exn : ('a, t) result -> 'a
 val exit_code : t -> int
 (** Distinct process exit code per error class, in 12..27 (documented in the
     README). Reserved: 0 success, 10 keep-going run with failures,
-    11 strict run aborted. *)
+    11 strict run aborted. Supervised-worker failures use 25
+    ([Worker_timeout]) and 26 ([Worker_killed]). *)

@@ -1,0 +1,171 @@
+module E = Cnt_error
+
+type policy = { timeout_s : float; retries : int; degrade : bool }
+
+let default_policy = { timeout_s = 900.0; retries = 1; degrade = true }
+
+type 'a outcome = {
+  value : ('a, E.t) result;
+  attempts : int;
+  degraded : bool;
+  wall_time : float;
+}
+
+let can_fork = not Sys.win32
+
+let retryable (e : E.t) =
+  match e.E.code with E.Worker_timeout | E.Worker_killed -> true | _ -> false
+
+(* The worker writes [Marshal.to_bytes result] on this pipe and exits 0.
+   Anything else — truncated payload, nonzero exit, signal death — is an
+   infrastructure failure, typed below. *)
+
+let flush_all_output () =
+  Format.pp_print_flush Format.std_formatter ();
+  Format.pp_print_flush Format.err_formatter ();
+  flush stdout;
+  flush stderr
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else string_of_int s
+
+let worker_ctx ~name pairs = ("worker", name) :: pairs
+
+(* Read the pipe to EOF under the deadline. The payload is small (scalars
+   plus a possible error), far below PIPE_BUF, so the worker never blocks
+   on the write; the select loop exists purely to enforce the watchdog
+   while the worker computes. *)
+let read_until_eof ~deadline fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let budget =
+      match deadline with
+      | None -> 0.25
+      | Some d -> d -. Unix.gettimeofday ()
+    in
+    if budget <= 0.0 then `Timeout
+    else
+      match Unix.select [ fd ] [] [] (Float.min budget 0.25) with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> `Eof (Buffer.to_bytes buf)
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let run_forked ~timeout_s ~name ~degraded f =
+  flush_all_output ();
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      (* Worker. Never let anything escape: compute, flush the inherited
+         stdio so experiment output lands before the parent resumes, ship
+         the result, and _exit without running parent atexit handlers. *)
+      Unix.close rd;
+      let result = E.protect ~stage:E.Experiment (fun () -> f ~degraded) in
+      flush_all_output ();
+      (try
+         let payload = Marshal.to_bytes (result : (_, E.t) result) [] in
+         let oc = Unix.out_channel_of_descr wr in
+         output_bytes oc payload;
+         flush oc
+       with _ -> ());
+      Unix._exit 0
+  | pid -> (
+      Unix.close wr;
+      let deadline =
+        if timeout_s > 0.0 then Some (Unix.gettimeofday () +. timeout_s)
+        else None
+      in
+      let read_result = read_until_eof ~deadline rd in
+      Unix.close rd;
+      match read_result with
+      | `Timeout ->
+          Unix.kill pid Sys.sigkill;
+          ignore (waitpid_retry pid);
+          Result.Error
+            (E.makef
+               ~context:
+                 (worker_ctx ~name
+                    [ ("timeout_s", Printf.sprintf "%.1f" timeout_s) ])
+               E.Experiment E.Worker_timeout
+               "worker exceeded its %.1fs wall-clock watchdog and was killed"
+               timeout_s)
+      | `Eof payload -> (
+          match waitpid_retry pid with
+          | Unix.WEXITED 0 -> (
+              match
+                (Marshal.from_bytes payload 0 : (_, E.t) result)
+              with
+              | result -> result
+              | exception _ ->
+                  Result.Error
+                    (E.make
+                       ~context:(worker_ctx ~name [])
+                       E.Experiment E.Internal
+                       "worker exited cleanly but returned no result"))
+          | Unix.WEXITED code ->
+              Result.Error
+                (E.makef
+                   ~context:
+                     (worker_ctx ~name [ ("exit", string_of_int code) ])
+                   E.Experiment E.Worker_killed "worker exited with code %d"
+                   code)
+          | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+              Result.Error
+                (E.makef
+                   ~context:(worker_ctx ~name [ ("signal", signal_name s) ])
+                   E.Experiment E.Worker_killed "worker killed by signal %s"
+                   (signal_name s))))
+
+let run_inprocess ~degraded f =
+  E.protect ~stage:E.Experiment (fun () -> f ~degraded)
+
+let run ?(policy = default_policy) ~name f =
+  let t0 = Unix.gettimeofday () in
+  let attempt ~degraded =
+    if can_fork then
+      run_forked ~timeout_s:policy.timeout_s ~name ~degraded f
+    else run_inprocess ~degraded f
+  in
+  let rec go n =
+    let degraded = policy.degrade && n > 1 in
+    match attempt ~degraded with
+    | Ok v ->
+        {
+          value = Ok v;
+          attempts = n;
+          degraded;
+          wall_time = Unix.gettimeofday () -. t0;
+        }
+    | Result.Error e when n <= policy.retries && retryable e ->
+        Format.eprintf "supervisor: %s attempt %d failed (%a), retrying%s@."
+          name n E.pp e
+          (if policy.degrade then " degraded" else "");
+        go (n + 1)
+    | Result.Error e ->
+        {
+          value = Result.Error (E.with_context e [ ("attempts", string_of_int n) ]);
+          attempts = n;
+          degraded;
+          wall_time = Unix.gettimeofday () -. t0;
+        }
+  in
+  go 1

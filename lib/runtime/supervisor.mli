@@ -1,0 +1,46 @@
+(** Process-isolated execution of experiment workloads.
+
+    Each job runs in a forked worker process; the supervisor reads the
+    worker's marshalled result from a pipe under a wall-clock watchdog.
+    A worker that outlives its watchdog is SIGKILLed and reported as a
+    {!Cnt_error.Worker_timeout}; a worker that dies on a signal (OOM
+    killer, segfault, external [kill]) or exits nonzero is reported as a
+    {!Cnt_error.Worker_killed}. Either class of infrastructure failure is
+    retried under a bounded policy, with the retry flagged as *degraded*
+    so the job can shed load (the harness halves the pattern count).
+
+    On platforms without [fork] (Windows) jobs run in-process: results
+    and typed errors are identical but the watchdog cannot interrupt a
+    wedged job and worker death takes the supervisor with it. *)
+
+type policy = {
+  timeout_s : float;  (** wall-clock budget per attempt; [<= 0.] disables *)
+  retries : int;  (** extra attempts after an infrastructure failure *)
+  degrade : bool;  (** run retries with [~degraded:true] *)
+}
+
+val default_policy : policy
+(** [{ timeout_s = 900.; retries = 1; degrade = true }] *)
+
+type 'a outcome = {
+  value : ('a, Cnt_error.t) result;
+  attempts : int;  (** total attempts made, >= 1 *)
+  degraded : bool;  (** the returned value came from a degraded retry *)
+  wall_time : float;  (** seconds across all attempts *)
+}
+
+val can_fork : bool
+(** [true] on Unix: workers are genuinely process-isolated. *)
+
+val run :
+  ?policy:policy -> name:string -> (degraded:bool -> 'a) -> 'a outcome
+(** [run ~name f] executes [f ~degraded:false] in a forked worker and
+    returns its result. The worker's value (or typed error) is marshalled
+    back to the supervisor, so ['a] must not contain closures. Any
+    exception escaping [f] becomes a typed error via
+    {!Cnt_error.protect}; it is NOT retried — only [Worker_timeout] and
+    [Worker_killed] are, since a deterministic in-job failure would just
+    fail again. *)
+
+val retryable : Cnt_error.t -> bool
+(** [true] exactly for the [Worker_timeout] / [Worker_killed] codes. *)

@@ -325,12 +325,16 @@ let harness_keep_going () =
   let module H = Experiments.Harness in
   let entries =
     [
-      H.entry "good1" "passes" (fun _ -> ());
-      H.entry "bad" "raises" (fun _ -> failwith "boom");
-      H.entry "good2" "passes" (fun _ -> ());
+      H.entry "good1" "passes" (fun ~degraded:_ _ -> []);
+      H.entry "bad" "raises" (fun ~degraded:_ _ -> failwith "boom");
+      H.entry "good2" "passes" (fun ~degraded:_ _ -> []);
     ]
   in
-  let s = H.run_all ~mode:H.Keep_going null entries in
+  let s =
+    H.run_all
+      ~config:{ H.default_config with H.mode = H.Keep_going }
+      null entries
+  in
   Alcotest.(check int) "one failure" 1 (List.length (H.failures s));
   Alcotest.(check bool) "not aborted" false s.H.aborted;
   Alcotest.(check int) "exit 10" 10 (H.exit_status s);
@@ -349,13 +353,19 @@ let harness_strict () =
   let ran = ref [] in
   let entries =
     [
-      H.entry "good1" "passes" (fun _ -> ran := "good1" :: !ran);
-      H.entry "bad" "typed failure" (fun _ ->
+      H.entry "good1" "passes" (fun ~degraded:_ _ ->
+          ran := "good1" :: !ran;
+          []);
+      H.entry "bad" "typed failure" (fun ~degraded:_ _ ->
           R.failf R.Spice R.Convergence_failure "injected");
-      H.entry "good2" "passes" (fun _ -> ran := "good2" :: !ran);
+      H.entry "good2" "passes" (fun ~degraded:_ _ ->
+          ran := "good2" :: !ran;
+          []);
     ]
   in
-  let s = H.run_all ~mode:H.Strict null entries in
+  let s =
+    H.run_all ~config:{ H.default_config with H.mode = H.Strict } null entries
+  in
   Alcotest.(check bool) "aborted" true s.H.aborted;
   Alcotest.(check int) "exit 11" 11 (H.exit_status s);
   Alcotest.(check (list string)) "good2 skipped" [ "good1" ] !ran;
@@ -367,7 +377,9 @@ let harness_strict () =
 
 let harness_all_pass () =
   let module H = Experiments.Harness in
-  let s = H.run_all ~mode:H.Keep_going null [ H.entry "only" "ok" (fun _ -> ()) ] in
+  let s =
+    H.run_all null [ H.entry "only" "ok" (fun ~degraded:_ _ -> []) ]
+  in
   Alcotest.(check int) "exit 0" 0 (H.exit_status s)
 
 let injector_classification () =

@@ -1,0 +1,280 @@
+(* Supervisor and checkpoint layer: worker isolation, watchdog, retry
+   with degradation, manifest durability, golden-gate comparisons. *)
+
+module E = Runtime.Cnt_error
+module S = Runtime.Supervisor
+module C = Runtime.Checkpoint
+
+let no_retry = { S.timeout_s = 30.0; retries = 0; degrade = false }
+
+let code = Alcotest.testable (Fmt.of_to_string E.code_name) ( = )
+
+let errcode outcome =
+  match outcome.S.value with
+  | Ok _ -> Alcotest.fail "expected a failed outcome"
+  | Result.Error e -> e.E.code
+
+(* --- supervisor ---------------------------------------------------- *)
+
+let worker_roundtrip () =
+  let outcome =
+    S.run ~policy:no_retry ~name:"ok" (fun ~degraded:_ ->
+        [ ("x", 1.5); ("y", 2.0) ])
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "scalars cross the process boundary"
+    [ ("x", 1.5); ("y", 2.0) ]
+    (match outcome.S.value with Ok v -> v | Result.Error _ -> []);
+  Alcotest.(check int) "one attempt" 1 outcome.S.attempts;
+  Alcotest.(check bool) "not degraded" false outcome.S.degraded
+
+let worker_exception_typed () =
+  let outcome =
+    S.run ~policy:no_retry ~name:"raise" (fun ~degraded:_ ->
+        failwith "boom in worker")
+  in
+  Alcotest.check code "Failure becomes a typed internal error" E.Internal
+    (errcode outcome);
+  Alcotest.(check int) "deterministic failures are not retried" 1
+    outcome.S.attempts
+
+let worker_sigkill () =
+  let outcome =
+    S.run ~policy:no_retry ~name:"killed" (fun ~degraded:_ ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        [])
+  in
+  Alcotest.check code "signal death is Worker_killed" E.Worker_killed
+    (errcode outcome)
+
+let worker_nonzero_exit () =
+  let outcome =
+    S.run ~policy:no_retry ~name:"exit3" (fun ~degraded:_ ->
+        Unix._exit 3)
+  in
+  Alcotest.check code "nonzero exit is Worker_killed" E.Worker_killed
+    (errcode outcome)
+
+let worker_timeout () =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    S.run
+      ~policy:{ S.timeout_s = 0.4; retries = 0; degrade = false }
+      ~name:"hang"
+      (fun ~degraded:_ ->
+        Unix.sleep 30;
+        [])
+  in
+  Alcotest.check code "watchdog fires as Worker_timeout" E.Worker_timeout
+    (errcode outcome);
+  Alcotest.(check bool) "the hung worker was killed promptly" true
+    (Unix.gettimeofday () -. t0 < 10.0)
+
+let degraded_retry_recovers () =
+  (* First attempt dies; the retry runs with ~degraded:true and succeeds. *)
+  let outcome =
+    S.run
+      ~policy:{ S.timeout_s = 30.0; retries = 1; degrade = true }
+      ~name:"flaky"
+      (fun ~degraded ->
+        if not degraded then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        [ ("recovered", 1.0) ])
+  in
+  (match outcome.S.value with
+  | Ok [ ("recovered", 1.0) ] -> ()
+  | _ -> Alcotest.fail "expected the degraded retry to succeed");
+  Alcotest.(check int) "two attempts" 2 outcome.S.attempts;
+  Alcotest.(check bool) "tagged degraded" true outcome.S.degraded
+
+let retry_budget_bounded () =
+  let outcome =
+    S.run
+      ~policy:{ S.timeout_s = 30.0; retries = 2; degrade = true }
+      ~name:"always-dies"
+      (fun ~degraded:_ ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        [])
+  in
+  Alcotest.check code "still Worker_killed after the budget" E.Worker_killed
+    (errcode outcome);
+  Alcotest.(check int) "1 + retries attempts" 3 outcome.S.attempts
+
+let retryable_classes () =
+  Alcotest.(check bool) "timeout retryable" true
+    (S.retryable (E.make E.Experiment E.Worker_timeout ""));
+  Alcotest.(check bool) "killed retryable" true
+    (S.retryable (E.make E.Experiment E.Worker_killed ""));
+  Alcotest.(check bool) "internal not retryable" false
+    (S.retryable (E.make E.Experiment E.Internal ""));
+  Alcotest.(check bool) "convergence not retryable" false
+    (S.retryable (E.make E.Spice E.Convergence_failure ""))
+
+(* --- checkpoint manifest ------------------------------------------- *)
+
+let tmpdir () = Filename.temp_file "cntpower-ckpt" "" |> fun f ->
+  Sys.remove f;
+  f
+
+let sample_manifest () =
+  let m = C.empty ~run_name:"test" in
+  let e1 =
+    C.entry ~experiment:"tgate" ~seed:42L ~patterns:1024 ~wall_time:0.5
+      ~attempts:1 ~status:C.Passed
+      [ ("n_configs", 8.0); ("max_drop", 0.11) ]
+  in
+  let e2 =
+    C.entry ~experiment:"table1" ~seed:42L ~patterns:1024 ~wall_time:9.0
+      ~attempts:2 ~status:C.Failed ~error:"experiment/worker-killed: boom" []
+  in
+  C.add (C.add m e1) e2
+
+let manifest_roundtrip () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "manifest.json" in
+  let m = sample_manifest () in
+  (match C.save ~path m with
+  | Ok () -> ()
+  | Result.Error e -> Alcotest.failf "save failed: %s" (E.to_string e));
+  match C.load ~path with
+  | Result.Error e -> Alcotest.failf "load failed: %s" (E.to_string e)
+  | Ok m' ->
+      Alcotest.(check string) "run name" m.C.run_name m'.C.run_name;
+      Alcotest.(check int) "entry count" 2 (List.length m'.C.entries);
+      let e1 = Option.get (C.find m' "tgate") in
+      Alcotest.(check (list (pair string (float 1e-12))))
+        "scalars survive the round trip"
+        [ ("n_configs", 8.0); ("max_drop", 0.11) ]
+        e1.C.scalars;
+      Alcotest.(check string) "digest preserved"
+        (C.digest_scalars e1.C.scalars) e1.C.digest;
+      let e2 = Option.get (C.find m' "table1") in
+      Alcotest.(check bool) "failed status survives" true (e2.C.status = C.Failed);
+      Alcotest.(check (option string)) "error text survives"
+        (Some "experiment/worker-killed: boom") e2.C.error
+
+let manifest_add_replaces () =
+  let m = sample_manifest () in
+  let e =
+    C.entry ~experiment:"table1" ~seed:42L ~patterns:1024 ~wall_time:1.0
+      ~attempts:1 ~status:C.Passed [ ("x", 1.0) ]
+  in
+  let m = C.add m e in
+  Alcotest.(check int) "still two entries" 2 (List.length m.C.entries);
+  Alcotest.(check bool) "replaced by the passing entry" true
+    ((Option.get (C.find m "table1")).C.status = C.Passed)
+
+let corrupt_manifest_is_typed () =
+  let dir = tmpdir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "bad.json" in
+  let oc = open_out path in
+  output_string oc "{ \"run\": \"x\", \"entries\": [ { bogus ";
+  close_out oc;
+  (match C.load ~path with
+  | Ok _ -> Alcotest.fail "corrupt JSON must not load"
+  | Result.Error e ->
+      Alcotest.check code "typed parse error" E.Parse_error e.E.code);
+  match C.load ~path:(Filename.concat dir "absent.json") with
+  | Ok _ -> Alcotest.fail "missing file must not load"
+  | Result.Error e -> Alcotest.check code "typed io error" E.Io_error e.E.code
+
+let json_parser_accepts_escapes () =
+  match C.json_of_string "{\"a\\n\\\"b\": [1, -2.5e3, true, null, \"\\u0041\"]}" with
+  | Result.Error e -> Alcotest.failf "parse failed: %s" (E.to_string e)
+  | Ok (C.Obj [ (key, C.Arr [ C.Num a; C.Num b; C.Bool true; C.Null; C.Str s ]) ]) ->
+      Alcotest.(check string) "escaped key" "a\n\"b" key;
+      Alcotest.(check (float 0.0)) "int" 1.0 a;
+      Alcotest.(check (float 0.0)) "exp" (-2500.0) b;
+      Alcotest.(check string) "unicode escape" "A" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+
+(* --- golden gate --------------------------------------------------- *)
+
+let golden_pass_and_drift () =
+  let m = sample_manifest () in
+  let golden = C.golden_of_manifest ~rtol:0.1 ~experiments:[ "tgate" ] m in
+  Alcotest.(check int) "failed entries excluded" 2 (List.length golden);
+  let exact =
+    List.find (fun g -> g.C.g_metric = "n_configs") golden
+  in
+  Alcotest.(check (float 0.0)) "integral metrics pinned exactly" 0.0
+    exact.C.g_rtol;
+  Alcotest.(check int) "clean manifest passes" 0
+    (List.length (C.check_golden m golden));
+  (* Within tolerance: max_drop 0.11 -> 0.115 at rtol 0.1 passes. *)
+  let nudged =
+    C.add m
+      (C.entry ~experiment:"tgate" ~seed:42L ~patterns:1024 ~wall_time:0.5
+         ~attempts:1 ~status:C.Passed
+         [ ("n_configs", 8.0); ("max_drop", 0.115) ])
+  in
+  Alcotest.(check int) "drift inside rtol passes" 0
+    (List.length (C.check_golden nudged golden));
+  (* Outside tolerance on the float, and any change on the exact count. *)
+  let drifted =
+    C.add m
+      (C.entry ~experiment:"tgate" ~seed:42L ~patterns:1024 ~wall_time:0.5
+         ~attempts:1 ~status:C.Passed
+         [ ("n_configs", 9.0); ("max_drop", 0.2) ])
+  in
+  Alcotest.(check int) "both metrics drift" 2
+    (List.length (C.check_golden drifted golden));
+  (* A golden metric with no manifest entry is a drift with no actual. *)
+  let missing =
+    C.check_golden (C.empty ~run_name:"empty") golden
+  in
+  Alcotest.(check int) "missing entries drift" 2 (List.length missing);
+  List.iter
+    (fun d -> Alcotest.(check bool) "no actual value" true (d.C.d_actual = None))
+    missing
+
+let golden_file_roundtrip () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "golden.json" in
+  let golden = C.golden_of_manifest (sample_manifest ()) in
+  (match C.save_golden ~path golden with
+  | Ok () -> ()
+  | Result.Error e -> Alcotest.failf "save failed: %s" (E.to_string e));
+  match C.load_golden ~path with
+  | Result.Error e -> Alcotest.failf "load failed: %s" (E.to_string e)
+  | Ok golden' ->
+      Alcotest.(check int) "metric count" (List.length golden)
+        (List.length golden');
+      List.iter2
+        (fun g g' ->
+          Alcotest.(check string) "metric name" g.C.g_metric g'.C.g_metric;
+          Alcotest.(check (float 0.0)) "value exact" g.C.g_value g'.C.g_value;
+          Alcotest.(check (float 0.0)) "rtol exact" g.C.g_rtol g'.C.g_rtol)
+        golden golden'
+
+let () =
+  Alcotest.run "supervisor"
+    [
+      ( "supervisor",
+        [
+          Alcotest.test_case "worker result roundtrip" `Quick worker_roundtrip;
+          Alcotest.test_case "exception becomes typed error" `Quick
+            worker_exception_typed;
+          Alcotest.test_case "SIGKILL is Worker_killed" `Quick worker_sigkill;
+          Alcotest.test_case "nonzero exit is Worker_killed" `Quick
+            worker_nonzero_exit;
+          Alcotest.test_case "watchdog timeout" `Quick worker_timeout;
+          Alcotest.test_case "degraded retry recovers" `Quick
+            degraded_retry_recovers;
+          Alcotest.test_case "retry budget bounded" `Quick retry_budget_bounded;
+          Alcotest.test_case "retryable classes" `Quick retryable_classes;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "manifest roundtrip" `Quick manifest_roundtrip;
+          Alcotest.test_case "add replaces" `Quick manifest_add_replaces;
+          Alcotest.test_case "corrupt manifest typed" `Quick
+            corrupt_manifest_is_typed;
+          Alcotest.test_case "json escapes" `Quick json_parser_accepts_escapes;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "pass and drift" `Quick golden_pass_and_drift;
+          Alcotest.test_case "file roundtrip" `Quick golden_file_roundtrip;
+        ] );
+    ]
