@@ -113,7 +113,17 @@ let micro_tests () =
                 ~name:"bench"
                 (fun ~degraded:_ -> payload))))
   in
-  [ classify; dc_solve; resyn; mapping; simulate; supervise ]
+  let telemetry_disabled =
+    (* The instrumentation ships in release paths guarded by one flag;
+       this pins the disabled cost of a span + counter + observation to
+       nanoseconds so `cntpower all` without --profile stays free. *)
+    Test.make ~name:"telemetry-span-disabled"
+      (Staged.stage (fun () ->
+           Runtime.Telemetry.with_span "bench.span" (fun () ->
+               Runtime.Telemetry.count "bench.counter" 1;
+               Runtime.Telemetry.observe "bench.dist" 1.0)))
+  in
+  [ classify; dc_solve; resyn; mapping; simulate; supervise; telemetry_disabled ]
 
 let run_micro () =
   Format.printf "@.#### Microbenchmarks (bechamel) ####@.";
@@ -134,6 +144,29 @@ let run_micro () =
           | Some [] | None -> Format.printf "  %-28s (no estimate)@." name)
         results)
     (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Profiled representative workload: BENCH_profile.json                *)
+
+let run_profile () =
+  Format.printf
+    "@.#### Telemetry profile (synth -> map -> estimate, mult8) ####@.";
+  let module T = Runtime.Telemetry in
+  T.set_enabled true;
+  T.reset ();
+  T.with_span "bench.pipeline" (fun () ->
+      let nl = Circuits.Multiplier.generate ~width:8 in
+      let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+      let ml = Techmap.Matchlib.build Cell.Genlib.generalized_cntfet in
+      let mapped = Techmap.Mapper.map ml aig in
+      ignore (Techmap.Estimate.run ~patterns:65536 mapped));
+  let prof = T.snapshot () in
+  T.set_enabled false;
+  let path = "BENCH_profile.json" in
+  (match T.save ~path prof with
+  | Ok () -> Format.printf "wrote %s@." path
+  | Error e -> Format.eprintf "cannot write %s: %a@." path Runtime.Cnt_error.pp e);
+  T.pp std prof
 
 (* ------------------------------------------------------------------ *)
 
@@ -162,6 +195,7 @@ let () =
       ("table1", run_table1);
       ("ablations", run_ablations);
       ("micro", run_micro);
+      ("profile", run_profile);
     ]
   in
   let selected = if args = [] then List.map fst sections else args in

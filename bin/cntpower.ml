@@ -17,6 +17,7 @@ let std = Format.std_formatter
 module R = Runtime.Cnt_error
 module C = Runtime.Checkpoint
 module S = Runtime.Supervisor
+module T = Runtime.Telemetry
 
 open Cmdliner
 
@@ -40,6 +41,22 @@ let validate_seed s =
     R.failf
       ~context:[ ("seed", Int64.to_string s) ]
       R.Cli R.Validation_error "--seed must be >= 0 (got %Ld)" s
+
+(* --timeout and --retries go through the same typed usage-error path.
+   NaN is the nasty case: it slips past simple [< 0.0] comparisons and
+   would poison the watchdog deadline arithmetic downstream. *)
+let validate_timeout t =
+  if not (Float.is_finite t) || t < 0.0 then
+    R.failf
+      ~context:[ ("timeout", Printf.sprintf "%h" t) ]
+      R.Cli R.Validation_error
+      "--timeout must be a finite number of seconds >= 0 (got %g)" t
+
+let validate_retries r =
+  if r < 0 || r > 1000 then
+    R.failf
+      ~context:[ ("retries", string_of_int r) ]
+      R.Cli R.Validation_error "--retries must be in [0, 1000] (got %d)" r
 
 let find_circuit name =
   match
@@ -267,6 +284,7 @@ let mode_arg =
 (* `all`: the supervised run. *)
 
 let manifest_path_of run_name = Filename.concat (Filename.concat "_runs" run_name) "manifest.json"
+let profile_path_of run_name = Filename.concat (Filename.concat "_runs" run_name) "profile.json"
 
 let all_cmd =
   let only_arg =
@@ -315,6 +333,16 @@ let all_cmd =
     let doc = "Run name; the manifest is written to _runs/$(docv)/manifest.json." in
     Arg.(value & opt string "all" & info [ "run" ] ~docv:"NAME" ~doc)
   in
+  let profile_arg =
+    let doc =
+      "Collect per-run telemetry (hierarchical spans, counters, simulator \
+       throughput distributions) and write it to _runs/<run>/profile.json; \
+       render it later with `cntpower stats <run>`. Workers profile \
+       themselves and ship their span trees back to the parent, so the \
+       profile covers the full supervised run."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
   let inject_crash_arg =
     let doc =
       "Fault injection (testing the supervisor): SIGKILL the worker of the \
@@ -337,13 +365,11 @@ let all_cmd =
     Arg.(value & opt_all string [] & info [ "inject-flaky" ] ~docv:"NAME" ~doc)
   in
   let run patterns seed mode only with_blifs timeout retries no_supervise
-      resume run_name inj_crash inj_hang inj_flaky =
+      resume run_name profile inj_crash inj_hang inj_flaky =
     validate_patterns patterns;
     validate_seed seed;
-    if timeout < 0.0 then
-      R.failf R.Cli R.Validation_error "--timeout must be >= 0 (got %g)" timeout;
-    if retries < 0 then
-      R.failf R.Cli R.Validation_error "--retries must be >= 0 (got %d)" retries;
+    validate_timeout timeout;
+    validate_retries retries;
     let entry = Experiments.Harness.entry in
     let budget ~degraded = if degraded then max 1 (patterns / 2) else patterns in
     let entries =
@@ -450,9 +476,22 @@ let all_cmd =
           patterns;
         }
       in
+      if profile then begin
+        T.set_enabled true;
+        T.reset ()
+      end;
       let summary = Experiments.Harness.run_all ~config std entries in
       Experiments.Harness.print_summary std summary;
       Format.fprintf std "manifest: %s@." manifest_path;
+      if profile then begin
+        let prof = T.snapshot () in
+        T.set_enabled false;
+        let path = profile_path_of run_name in
+        match T.save ~path prof with
+        | Ok () -> Format.fprintf std "profile: %s@." path
+        | Result.Error e ->
+            Format.eprintf "cntpower: cannot write profile: %a@." R.pp e
+      end;
       Experiments.Harness.exit_status summary
     end
   in
@@ -466,7 +505,8 @@ let all_cmd =
     Term.(
       const run $ patterns_arg $ seed_arg $ mode_arg $ only_arg $ with_blif_arg
       $ timeout_arg $ retries_arg $ no_supervise_arg $ resume_arg
-      $ run_name_arg $ inject_crash_arg $ inject_hang_arg $ inject_flaky_arg)
+      $ run_name_arg $ profile_arg $ inject_crash_arg $ inject_hang_arg
+      $ inject_flaky_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `golden`: the regression gate over a run manifest. *)
@@ -553,6 +593,38 @@ let golden_cmd =
       const run $ manifest_arg $ golden_arg $ check_arg $ update_arg $ rtol_arg
       $ only_arg)
 
+(* ------------------------------------------------------------------ *)
+(* `stats`: render a run's telemetry profile. *)
+
+let stats_cmd =
+  let run_pos =
+    let doc = "Run name whose profile to render (_runs/$(docv)/profile.json)." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"RUN" ~doc)
+  in
+  let file_arg =
+    let doc = "Read the profile from $(docv) instead of _runs/<run>/profile.json." in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let run run_name file =
+    let path =
+      match file with Some p -> p | None -> profile_path_of run_name
+    in
+    let prof = R.get_exn (T.load ~path) in
+    Format.fprintf std "profile: %s@." path;
+    T.pp std prof;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Pretty-print the telemetry profile of a run recorded with \
+          `cntpower all --profile`: the hierarchical span tree (wall time \
+          per pipeline stage per experiment), monotonic counters (DC \
+          solves, cache hits, matches tried, words simulated) and \
+          throughput distributions. A missing or malformed profile exits \
+          with its typed error code, never a backtrace.")
+    Term.(const run $ run_pos $ file_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cntpower" ~version:"1.1.0"
@@ -562,7 +634,7 @@ let main =
     [
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
-      check_cmd; all_cmd; golden_cmd;
+      check_cmd; all_cmd; golden_cmd; stats_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

@@ -11,7 +11,10 @@ type result = {
   nor3_same_pattern_vectors : (int * int) list;
       (** pairs of distinct input vectors sharing an I_off pattern *)
   total_vectors : int;  (** gate-vector pairs examined across the library *)
-  dc_solves : int;  (** circuit simulations actually performed *)
+  dc_solves : int;  (** circuit simulations actually performed (census) *)
+  cache_hits : int;
+      (** leakage-cache hits across the full per-gate re-characterization
+          sweep — the solves the classification avoided *)
 }
 
 val run : unit -> result

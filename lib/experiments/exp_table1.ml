@@ -10,18 +10,21 @@ type summary = {
   improvement_vs_cmos : (string * (string * float) list) list;
 }
 
+module T = Runtime.Telemetry
+
 let run ?(patterns = E.default_patterns) ?(seed = 42L) ?(circuits = Circuits.Suite.all) ?(verify = true) () =
   let matchlibs = List.map (fun lib -> (lib, Techmap.Matchlib.build lib)) G.all_libraries in
   let rows =
     List.map
       (fun (entry : Circuits.Suite.entry) ->
+        T.with_span ("circuit." ^ entry.Circuits.Suite.name) (fun () ->
         let nl = entry.Circuits.Suite.generate () in
         (* Well-formedness gate before mapping: a malformed generator output
            fails here with a typed netlist/* error instead of surfacing as a
            cryptic mapper crash. *)
         let (_ : Nets.Check.report) = Nets.Check.check_exn nl in
         let aig = A.of_netlist nl in
-        let opt = Aigs.Opt.resyn2rs aig in
+        let opt = T.with_span "synth.resyn2rs" (fun () -> Aigs.Opt.resyn2rs aig) in
         let results =
           List.map
             (fun (lib, ml) ->
@@ -41,7 +44,7 @@ let run ?(patterns = E.default_patterns) ?(seed = 42L) ?(circuits = Circuits.Sui
           name = entry.Circuits.Suite.name;
           description = entry.Circuits.Suite.description;
           results;
-        })
+        }))
       circuits
   in
   let lib_names = List.map (fun (lib, _) -> lib.G.name) matchlibs in

@@ -1,6 +1,7 @@
 module E = Runtime.Cnt_error
 module C = Runtime.Checkpoint
 module S = Runtime.Supervisor
+module T = Runtime.Telemetry
 
 type mode = Keep_going | Strict
 
@@ -52,7 +53,8 @@ let run_one config ppf e =
   | None -> (
       let t0 = Unix.gettimeofday () in
       match
-        E.protect ~stage:E.Experiment (fun () -> e.run ~degraded:false ppf)
+        E.protect ~stage:E.Experiment (fun () ->
+            T.with_span e.name (fun () -> e.run ~degraded:false ppf))
       with
       | Ok scalars ->
           Passed
@@ -70,11 +72,31 @@ let run_one config ppf e =
               error = E.with_context err [ ("experiment", e.name) ];
             })
   | Some policy -> (
+      (* The worker inherits the parent's telemetry flag across the fork.
+         It profiles just its own entry (reset on entry, snapshot on exit);
+         the profile rides the marshalled result back over the supervisor
+         pipe and is grafted under a span named for the experiment. *)
       let outcome =
-        S.run ~policy ~name:e.name (fun ~degraded -> e.run ~degraded ppf)
+        S.run ~policy ~name:e.name (fun ~degraded ->
+            if T.enabled () then T.reset ();
+            let scalars = e.run ~degraded ppf in
+            let prof = if T.enabled () then Some (T.snapshot ()) else None in
+            (scalars, prof))
       in
       match outcome.S.value with
-      | Ok scalars ->
+      | Ok (scalars, prof) ->
+          Option.iter
+            (fun p ->
+              let entry_span =
+                {
+                  T.span_name = e.name;
+                  calls = outcome.S.attempts;
+                  total_s = outcome.S.wall_time;
+                  children = p.T.p_spans;
+                }
+              in
+              T.merge { p with T.p_spans = [ entry_span ] })
+            prof;
           Passed
             {
               wall = outcome.S.wall_time;

@@ -44,6 +44,7 @@ let apply_op op (args : B.t array) num_patterns =
       !acc
 
 let run t input_vectors =
+  let module T = Runtime.Telemetry in
   let ins = Netlist.inputs t in
   assert (Array.length input_vectors = Array.length ins);
   let num_patterns =
@@ -52,14 +53,25 @@ let run t input_vectors =
   Array.iter (fun v -> assert (B.length v = num_patterns)) input_vectors;
   let node_values = Array.make (Netlist.size t) (B.create num_patterns) in
   Array.iteri (fun i id -> node_values.(id) <- input_vectors.(i)) ins;
+  let t0 = if T.enabled () then T.now () else 0.0 in
+  let evaluated = ref 0 in
   Netlist.iter_nodes t (fun id op fanins ->
       match op with
       | Netlist.Input -> ()
       | Netlist.Constant _ | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or
       | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor | Netlist.Mux
       | Netlist.Maj | Netlist.Lut _ ->
+          incr evaluated;
           let args = Array.map (fun f -> node_values.(f)) fanins in
           node_values.(id) <- apply_op op args num_patterns);
+  if T.enabled () then begin
+    let dt = T.now () -. t0 in
+    let words_per_vec = (num_patterns + 63) / 64 in
+    T.count "sim.nodes_evaluated" !evaluated;
+    T.count "sim.words_evaluated" (!evaluated * words_per_vec);
+    if dt > 0.0 && num_patterns > 0 then
+      T.observe "sim.patterns_per_s" (float_of_int num_patterns /. dt)
+  end;
   { num_patterns; node_values }
 
 let run_random ?(seed = 42L) t n =

@@ -7,13 +7,22 @@ module T = Spice.Tech
 type key = { family : T.family; vdd : float; vt : float; vth : float; pattern : Pattern.t }
 
 let cache : (key, float) Hashtbl.t = Hashtbl.create 64
+let hits = ref 0
 let misses = ref 0
 
 let clear_cache () =
   Hashtbl.reset cache;
+  hits := 0;
   misses := 0
 
-let cache_stats () = (Hashtbl.length cache, !misses)
+type stats = { entries : int; hits : int; misses : int }
+
+let cache_stats () =
+  { entries = Hashtbl.length cache; hits = !hits; misses = !misses }
+
+let hit_ratio s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
 
 (* Build the pattern between two circuit nodes as unit off n-devices (gate
    grounded, maximum-leakage bias per the paper's equal-n/p assumption). *)
@@ -56,9 +65,14 @@ let pattern_ioff tech pattern =
     { family = tech.T.family; vdd = tech.T.vdd; vt = tech.T.temp_vt; vth = tech.T.vth_n; pattern }
   in
   match Hashtbl.find_opt cache key with
-  | Some i -> i
+  | Some i ->
+      incr hits;
+      Runtime.Telemetry.count "leakage.cache.hits" 1;
+      i
   | None ->
       incr misses;
+      Runtime.Telemetry.count "leakage.cache.misses" 1;
+      Runtime.Telemetry.count "leakage.dc_solves" 1;
       let i = solve_pattern tech pattern in
       Hashtbl.replace cache key i;
       i

@@ -13,9 +13,14 @@ val pattern_ioff : Spice.Tech.t -> Pattern.t -> float
 
 val clear_cache : unit -> unit
 
-val cache_stats : unit -> int * int
-(** [(entries, misses)] — [misses] counts actual DC solves; the difference
-    shows how much the classification saved. *)
+type stats = { entries : int; hits : int; misses : int }
+(** [misses] counts actual DC solves; [hits] counts solves the
+    classification cache avoided. *)
+
+val cache_stats : unit -> stats
+
+val hit_ratio : stats -> float
+(** Hits over total lookups, 0 when the cache was never consulted. *)
 
 val gate_ioff : Spice.Tech.t -> Pattern.gate_patterns -> float array
 (** Per input vector: pattern leakage plus one unit off-current per internal

@@ -26,6 +26,26 @@ val json_of_string : string -> (json, Cnt_error.t) result
 val json_to_string : json -> string
 (** Pretty-printed with two-space indentation and a trailing newline. *)
 
+(** {2 Decoding and I/O helpers}
+
+    Shared with {!Telemetry} so every on-disk artifact ([manifest.json],
+    [golden.json], [profile.json]) uses one JSON dialect and one typed
+    error path. *)
+
+val field : json -> string -> (json, Cnt_error.t) result
+(** Required object field; a missing field or a non-object is a typed
+    [Parse_error]. *)
+
+val as_num : string -> json -> (float, Cnt_error.t) result
+val as_str : string -> json -> (string, Cnt_error.t) result
+val as_arr : string -> json -> (json list, Cnt_error.t) result
+
+val write_atomic : path:string -> string -> (unit, Cnt_error.t) result
+(** Write text to a temp file next to [path] and rename it into place,
+    creating parent directories as needed. *)
+
+val read_file : string -> (string, Cnt_error.t) result
+
 type status = Passed | Degraded | Failed
 
 val status_name : status -> string

@@ -147,6 +147,7 @@ let run ?(policy = default_policy) ~name f =
   in
   let rec go n =
     let degraded = policy.degrade && n > 1 in
+    Telemetry.count "supervisor.attempts" 1;
     match attempt ~degraded with
     | Ok v ->
         {
@@ -156,6 +157,7 @@ let run ?(policy = default_policy) ~name f =
           wall_time = Unix.gettimeofday () -. t0;
         }
     | Result.Error e when n <= policy.retries && retryable e ->
+        Telemetry.count "supervisor.retries" 1;
         Format.eprintf "supervisor: %s attempt %d failed (%a), retrying%s@."
           name n E.pp e
           (if policy.degrade then " degraded" else "");

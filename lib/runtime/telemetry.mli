@@ -1,0 +1,117 @@
+(** Per-run performance telemetry: spans, counters and distributions.
+
+    The pipeline (pattern classification, transient characterization,
+    technology mapping, 640 K-pattern power estimation) instruments its
+    hot layers through this module. Everything hangs off one process-wide
+    registry:
+
+    - {b spans} ({!with_span}) measure hierarchical wall-clock regions,
+      aggregated by path — calling [with_span "techmap.map"] 18 times
+      under the same parent yields one tree node with [calls = 18];
+    - {b counters} ({!count}) are monotonic integer totals (DC solves,
+      cache hits, words simulated);
+    - {b distributions} ({!observe}) keep min/mean/max plus a bounded
+      deterministic sample for p50/p95 (simulator patterns/s, settle
+      residuals).
+
+    Collection is off by default. When disabled every entry point is a
+    cheap branch on one flag — no allocation, no clock read — so the
+    instrumentation can stay in release paths ([cntpower all] without
+    [--profile] pays nothing; verified by the [telemetry-span-disabled]
+    microbenchmark).
+
+    The registry is plain data, so a forked worker
+    ({!Runtime.Supervisor.run}) can {!reset} on entry, {!snapshot} on
+    exit, marshal the profile back over the result pipe and have the
+    parent {!merge} it under a span named for the experiment. Profiles
+    serialize to the same dependency-free JSON as {!Checkpoint}
+    ([_runs/<name>/profile.json]). *)
+
+type span = {
+  span_name : string;
+  calls : int;  (** completed invocations aggregated into this node *)
+  total_s : float;  (** wall-clock seconds across all calls *)
+  children : span list;  (** sorted by [total_s], largest first *)
+}
+
+type dist = {
+  d_count : int;
+  d_sum : float;
+  d_min : float;
+  d_max : float;
+  d_samples : float array;
+      (** bounded systematic sample of the observations, used for
+          quantile estimates; at most {!max_samples} values *)
+}
+
+type profile = {
+  p_spans : span list;
+  p_counters : (string * int) list;  (** sorted by name *)
+  p_dists : (string * dist) list;  (** sorted by name *)
+}
+
+val max_samples : int
+(** Upper bound on [d_samples] per distribution (512). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans, counters and distributions (the enabled flag
+    is left as is). Must not be called while spans are open. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); exposed so instrumented
+    libraries can time throughput without their own [unix] dependency. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], charging its wall time to the span node
+    [name] under the innermost open span. When disabled this is exactly
+    [f ()]. Exception-safe: the span is closed (and charged) even if [f]
+    raises. Direct recursion double-charges the recursive frames; name
+    recursion levels distinctly if that matters. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the monotonic counter [name]. No-op when
+    disabled. *)
+
+val observe : string -> float -> unit
+(** [observe name v] records [v] into the distribution [name]. No-op when
+    disabled. *)
+
+val snapshot : unit -> profile
+(** Immutable copy of the registry (open spans are not included). The
+    result is free of closures and safe to [Marshal]. *)
+
+val merge : ?prefix:string list -> profile -> unit
+(** Fold a profile (typically a forked worker's snapshot) into the live
+    registry: span trees are grafted under the path [prefix] (created as
+    needed, default root) adding calls and totals node-wise; counters add;
+    distributions combine counts/sums/extrema and interleave samples up to
+    the bound. Works even while collection is disabled — merging is an
+    explicit act. *)
+
+val mean : dist -> float
+
+val percentile : dist -> float -> float
+(** [percentile d q] with [q] in [0, 1], estimated from the retained
+    sample (nearest-rank). 0 on an empty distribution. *)
+
+val find_counter : profile -> string -> int option
+val find_dist : profile -> string -> dist option
+
+val to_json : profile -> Checkpoint.json
+val of_json : Checkpoint.json -> (profile, Cnt_error.t) result
+(** Round-trips spans, counters and distribution state. The emitted JSON
+    additionally carries derived [mean]/[p50]/[p95] fields per
+    distribution for downstream consumers; they are recomputed, not
+    parsed, on load. *)
+
+val save : path:string -> profile -> (unit, Cnt_error.t) result
+(** Atomic write (same convention as {!Checkpoint.save}). *)
+
+val load : path:string -> (profile, Cnt_error.t) result
+
+val pp : Format.formatter -> profile -> unit
+(** Human rendering: the span tree with calls and totals, then counters
+    and distribution summaries ([cntpower stats]). *)

@@ -246,15 +246,26 @@ let simulate_checked circuit ~caps ~drives ~tstop ?(dv_max = 2.0e-3) ?(samples =
       | [] ->
           (* Bounded retries: each one halves the step-accuracy bound and
              damps the settle relaxation. *)
+          let module T = Runtime.Telemetry in
           let rec go retry dv_max damping last_error =
-            if retry > max_retries then
+            if retry > max_retries then begin
+              T.count "spice.transient.failures" 1;
               Result.Error
                 (Runtime.Cnt_error.with_context last_error
                    [ ("retries", string_of_int max_retries) ])
+            end
             else
               match attempt circuit ~cap ~driven ~tstop ~dv_max ~samples ~damping watch with
-              | Ok (waves, diag) -> Ok (waves, { diag with retries = retry })
-              | Result.Error e -> go (retry + 1) (dv_max /. 2.0) (damping *. 0.5) e
+              | Ok (waves, diag) ->
+                  T.count "spice.transient.solves" 1;
+                  T.count "spice.transient.settle_steps" diag.settle_steps;
+                  T.count "spice.transient.steps" diag.steps;
+                  T.count "spice.transient.damped_retries" retry;
+                  T.observe "spice.transient.settle_residual_v" diag.residual;
+                  Ok (waves, { diag with retries = retry })
+              | Result.Error e ->
+                  T.count "spice.transient.damped_attempts_failed" 1;
+                  go (retry + 1) (dv_max /. 2.0) (damping *. 0.5) e
           in
           go 0 dv_max 1.0
             (Runtime.Cnt_error.make stage Runtime.Cnt_error.Internal "unreachable"))

@@ -29,6 +29,8 @@ let expected_current probs by_vector =
   done;
   !total
 
+module T = Runtime.Telemetry
+
 let static_components (m : Mapped.t) ~probs =
   let tech = m.Mapped.lib.G.tech in
   let vdd = tech.Spice.Tech.vdd in
@@ -57,6 +59,7 @@ let static_components (m : Mapped.t) ~probs =
 
 let run ?(patterns = default_patterns) ?(seed = 42L) ?(wire_cap_per_fanout = 0.0)
     (m : Mapped.t) =
+  T.with_span "techmap.estimate" (fun () ->
   let tech = m.Mapped.lib.G.tech in
   let vdd = tech.Spice.Tech.vdd in
   let f = Spice.Tech.frequency in
@@ -69,7 +72,15 @@ let run ?(patterns = default_patterns) ?(seed = 42L) ?(wire_cap_per_fanout = 0.0
         B.fill_random rng v;
         v)
   in
-  let values = Mapped.simulate m stimulus in
+  let t0 = if T.enabled () then T.now () else 0.0 in
+  let values = T.with_span "estimate.simulate" (fun () -> Mapped.simulate m stimulus) in
+  if T.enabled () then begin
+    let dt = T.now () -. t0 in
+    T.count "estimate.patterns_simulated" patterns;
+    T.count "estimate.cells_simulated" (Array.length m.Mapped.cells);
+    if dt > 0.0 then
+      T.observe "estimate.patterns_per_s" (float_of_int patterns /. dt)
+  end;
   let toggle net =
     if patterns <= 1 then 0.0
     else float_of_int (B.transitions values.(net)) /. float_of_int (patterns - 1)
@@ -82,7 +93,9 @@ let run ?(patterns = default_patterns) ?(seed = 42L) ?(wire_cap_per_fanout = 0.0
     dynamic := !dynamic +. (toggle net *. loads.(net) *. f *. vdd *. vdd)
   done;
   (* Static and gate leakage from the per-gate characterization. *)
-  let static, gate_leak = static_components m ~probs:prob in
+  let static, gate_leak =
+    T.with_span "estimate.characterize" (fun () -> static_components m ~probs:prob)
+  in
   let static = ref static and gate_leak = ref gate_leak in
   let short_circuit = Spice.Tech.short_circuit_fraction *. !dynamic in
   let total = !dynamic +. short_circuit +. !static +. !gate_leak in
@@ -97,7 +110,7 @@ let run ?(patterns = default_patterns) ?(seed = 42L) ?(wire_cap_per_fanout = 0.0
     gate_leak = !gate_leak;
     total;
     edp = Power.Powermodel.edp ~total_power:total ~delay ();
-  }
+  })
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -66,6 +66,7 @@ let simulate t stimulus =
   (* Covers are cached per gate name; evaluation runs as raw word loops to
      keep 640 K-pattern simulation cheap. *)
   let cover_cache = Hashtbl.create 32 in
+  let cube_words = ref 0 in
   let cover_of gate =
     let name = gate.G.cell.Cell.Cells.name in
     match Hashtbl.find_opt cover_cache name with
@@ -81,6 +82,7 @@ let simulate t stimulus =
       let out = B.create npat in
       let out_words = B.words out in
       let nwords = Array.length out_words in
+      cube_words := !cube_words + (Array.length cubes * nwords);
       let pins = Array.length c.inputs in
       let pin_words = Array.map (fun net -> B.words values.(net)) c.inputs in
       for ci = 0 to Array.length cubes - 1 do
@@ -103,6 +105,8 @@ let simulate t stimulus =
          out_words.(nwords - 1) <- Int64.logand out_words.(nwords - 1) mask);
       values.(c.output) <- out)
     t.cells;
+  Runtime.Telemetry.count "mapped.sim.cube_words" !cube_words;
+  Runtime.Telemetry.count "mapped.sim.cells" (Array.length t.cells);
   values
 
 let check t reference ~patterns ~seed =

@@ -54,6 +54,7 @@ let compute_matches ml aig ~k ~max_cuts =
 let select ~objective ~inv (matches : node_matches array) aig weight =
   let n = A.num_nodes aig in
   let ninputs = A.num_inputs aig in
+  let tried = ref 0 in
   let best : info option array array = Array.make_matrix n 2 None in
   for node = 1 to ninputs do
     best.(node).(0) <- Some { arrival = 0.0; aflow = 0.0; choice = Wire };
@@ -63,6 +64,7 @@ let select ~objective ~inv (matches : node_matches array) aig weight =
   for node = ninputs + 1 to n - 1 do
     let candidate = [| ref None; ref None |] in
     let consider phase leaves_sup (cand : Matchlib.candidate) =
+      incr tried;
       let gate = cand.Matchlib.gate in
       let feasible = ref true in
       let arrival = ref gate.G.delay in
@@ -116,6 +118,7 @@ let select ~objective ~inv (matches : node_matches array) aig weight =
         Runtime.Cnt_error.Techmap Runtime.Cnt_error.Unmapped_node
         "Mapper.map: node %d has no match" node
   done;
+  Runtime.Telemetry.count "mapper.matches_tried" !tried;
   best
 
 (* Count how many times each node is referenced by the cover implied by
@@ -168,6 +171,7 @@ let extract best aig lib inv =
       (A.input_lits aig)
   in
   let cells = ref [] in
+  let memo_hits = ref 0 in
   let memo = Hashtbl.create 256 in
   let add_cell gate inputs =
     let out = fresh_net () in
@@ -176,7 +180,9 @@ let extract best aig lib inv =
   in
   let rec realize node phase =
     match Hashtbl.find_opt memo (node, phase) with
-    | Some net -> net
+    | Some net ->
+        incr memo_hits;
+        net
     | None ->
         let info =
           match best.(node).(phase) with
@@ -224,30 +230,35 @@ let extract best aig lib inv =
         if node = 0 then (name, realize_const phase) else (name, realize node phase))
       (A.outputs aig)
   in
+  let cells = Array.of_list (List.rev !cells) in
+  Runtime.Telemetry.count "mapper.memo_hits" !memo_hits;
+  Runtime.Telemetry.count "mapper.cells_emitted" (Array.length cells);
   {
     Mapped.lib;
     num_nets = !next_net;
     pi_nets;
     po_nets;
     const_nets = Array.of_list !const_nets;
-    cells = Array.of_list (List.rev !cells);
+    cells;
   }
 
 let map ?(objective = Delay) ?(k = 6) ?(max_cuts = 10) ml aig =
-  let lib = Matchlib.library ml in
-  let inv = Matchlib.inverter ml in
-  let matches = compute_matches ml aig ~k ~max_cuts in
-  let fanouts = A.fanout_counts aig in
-  let weight_of refs node = float_of_int (max 1 refs.(node)) in
-  let best = ref (select ~objective ~inv matches aig (weight_of fanouts)) in
-  (* For area-oriented covering, iterate with exact cover reference counts:
-     the classic area-flow refinement (two rounds suffice in practice). *)
-  if objective = Area then
-    for _ = 1 to 2 do
-      let refs = cover_references !best aig in
-      best := select ~objective ~inv matches aig (weight_of refs)
-    done;
-  extract !best aig lib inv
+  Runtime.Telemetry.with_span "techmap.map" (fun () ->
+      let lib = Matchlib.library ml in
+      let inv = Matchlib.inverter ml in
+      let matches = compute_matches ml aig ~k ~max_cuts in
+      let fanouts = A.fanout_counts aig in
+      let weight_of refs node = float_of_int (max 1 refs.(node)) in
+      let best = ref (select ~objective ~inv matches aig (weight_of fanouts)) in
+      (* For area-oriented covering, iterate with exact cover reference
+         counts: the classic area-flow refinement (two rounds suffice in
+         practice). *)
+      if objective = Area then
+        for _ = 1 to 2 do
+          let refs = cover_references !best aig in
+          best := select ~objective ~inv matches aig (weight_of refs)
+        done;
+      extract !best aig lib inv)
 
 let map_checked ?objective ?k ?max_cuts ml aig =
   Runtime.Cnt_error.protect ~stage:Runtime.Cnt_error.Techmap (fun () ->

@@ -63,6 +63,7 @@ let insert t k key cand =
   end
 
 let build lib =
+  Runtime.Telemetry.with_span "techmap.matchlib.build" @@ fun () ->
   let t =
     {
       lib;

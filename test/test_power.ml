@@ -128,9 +128,11 @@ let cache_saves_solves () =
   ignore (L.pattern_ioff Spice.Tech.cmos (P.Unit 2));
   ignore (L.pattern_ioff Spice.Tech.cmos (P.Unit 2));
   ignore (L.pattern_ioff Spice.Tech.cmos (P.Unit 2));
-  let entries, misses = L.cache_stats () in
-  Alcotest.(check int) "one entry" 1 entries;
-  Alcotest.(check int) "one miss" 1 misses
+  let stats = L.cache_stats () in
+  Alcotest.(check int) "one entry" 1 stats.L.entries;
+  Alcotest.(check int) "one miss" 1 stats.L.misses;
+  Alcotest.(check int) "two hits" 2 stats.L.hits;
+  Alcotest.(check (float 1e-9)) "hit ratio" (2.0 /. 3.0) (L.hit_ratio stats)
 
 let classification_matches_brute_force () =
   (* A1: for a few gates, per-vector leakage computed through pattern
