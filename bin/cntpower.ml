@@ -18,6 +18,9 @@ module R = Runtime.Cnt_error
 module C = Runtime.Checkpoint
 module S = Runtime.Supervisor
 module T = Runtime.Telemetry
+module Jn = Runtime.Journal
+module Tr = Runtime.Trace_export
+module Cp = Runtime.Compare
 
 open Cmdliner
 
@@ -283,8 +286,24 @@ let mode_arg =
 (* ------------------------------------------------------------------ *)
 (* `all`: the supervised run. *)
 
-let manifest_path_of run_name = Filename.concat (Filename.concat "_runs" run_name) "manifest.json"
-let profile_path_of run_name = Filename.concat (Filename.concat "_runs" run_name) "profile.json"
+let run_dir_of run_name = Filename.concat "_runs" run_name
+let manifest_path_of run_name = Filename.concat (run_dir_of run_name) "manifest.json"
+let profile_path_of run_name = Filename.concat (run_dir_of run_name) "profile.json"
+let events_path_of run_name = Filename.concat (run_dir_of run_name) "events.jsonl"
+let trace_path_of run_name = Filename.concat (run_dir_of run_name) "trace.json"
+
+let log_level_arg =
+  let doc =
+    "Verbosity of the live event echo on stderr: $(b,quiet) silences all \
+     journal chatter, $(b,info) (default) echoes retries and worker \
+     failures, $(b,debug) echoes every event. The on-disk events.jsonl \
+     always records everything."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("quiet", None); ("info", Some Jn.Info); ("debug", Some Jn.Debug) ])
+        (Some Jn.Info)
+    & info [ "log-level" ] ~docv:"LEVEL" ~doc)
 
 let all_cmd =
   let only_arg =
@@ -365,11 +384,12 @@ let all_cmd =
     Arg.(value & opt_all string [] & info [ "inject-flaky" ] ~docv:"NAME" ~doc)
   in
   let run patterns seed mode only with_blifs timeout retries no_supervise
-      resume run_name profile inj_crash inj_hang inj_flaky =
+      resume run_name profile log_level inj_crash inj_hang inj_flaky =
     validate_patterns patterns;
     validate_seed seed;
     validate_timeout timeout;
     validate_retries retries;
+    Jn.set_verbosity log_level;
     let entry = Experiments.Harness.entry in
     let budget ~degraded = if degraded then max 1 (patterns / 2) else patterns in
     let entries =
@@ -480,6 +500,30 @@ let all_cmd =
         T.set_enabled true;
         T.reset ()
       end;
+      (* The event journal is always on for `all`: a handful of typed
+         events per experiment, appended and flushed line by line, is
+         cheap next to the experiments themselves and is what `cntpower
+         trace` and post-mortems feed on. *)
+      let events_path = events_path_of run_name in
+      Jn.set_enabled true;
+      (match Jn.open_sink ~path:events_path with
+      | Ok () -> ()
+      | Result.Error e ->
+          Format.eprintf "cntpower: cannot open event journal: %a@." R.pp e;
+          Jn.set_enabled false);
+      Jn.emit Jn.Run_started
+        [
+          ("run", run_name);
+          ("seed", Int64.to_string seed);
+          ("patterns", string_of_int patterns);
+          ( "mode",
+            match mode with
+            | Experiments.Harness.Keep_going -> "keep-going"
+            | Experiments.Harness.Strict -> "strict" );
+          ("supervised", string_of_bool (not no_supervise));
+          ("profile", string_of_bool profile);
+          ("experiments", string_of_int (List.length entries));
+        ];
       let summary = Experiments.Harness.run_all ~config std entries in
       Experiments.Harness.print_summary std summary;
       Format.fprintf std "manifest: %s@." manifest_path;
@@ -492,7 +536,31 @@ let all_cmd =
         | Result.Error e ->
             Format.eprintf "cntpower: cannot write profile: %a@." R.pp e
       end;
-      Experiments.Harness.exit_status summary
+      let code = Experiments.Harness.exit_status summary in
+      let count p =
+        List.length
+          (List.filter (fun (_, st) -> p st) summary.Experiments.Harness.results)
+      in
+      Jn.emit Jn.Run_finished
+        [
+          ("run", run_name);
+          ( "passed",
+            string_of_int
+              (count (function Experiments.Harness.Passed _ -> true | _ -> false))
+          );
+          ( "failed",
+            string_of_int
+              (count (function Experiments.Harness.Failed _ -> true | _ -> false))
+          );
+          ( "resumed",
+            string_of_int
+              (count (function Experiments.Harness.Resumed _ -> true | _ -> false))
+          );
+          ("exit_code", string_of_int code);
+        ];
+      Jn.close_sink ();
+      Jn.set_enabled false;
+      code
     end
   in
   Cmd.v
@@ -505,8 +573,8 @@ let all_cmd =
     Term.(
       const run $ patterns_arg $ seed_arg $ mode_arg $ only_arg $ with_blif_arg
       $ timeout_arg $ retries_arg $ no_supervise_arg $ resume_arg
-      $ run_name_arg $ profile_arg $ inject_crash_arg $ inject_hang_arg
-      $ inject_flaky_arg)
+      $ run_name_arg $ profile_arg $ log_level_arg $ inject_crash_arg
+      $ inject_hang_arg $ inject_flaky_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `golden`: the regression gate over a run manifest. *)
@@ -573,6 +641,33 @@ let golden_cmd =
           0
       | drifts ->
           List.iter (fun d -> Format.eprintf "golden: DRIFT %a@." C.pp_drift d) drifts;
+          (* Drift is a first-class run event: append it to the journal
+             living next to the manifest so the run's events.jsonl tells
+             the whole story, gate included. *)
+          let events_path =
+            Filename.concat (Filename.dirname manifest) "events.jsonl"
+          in
+          Jn.set_enabled true;
+          Jn.set_verbosity None;
+          (match Jn.open_sink ~path:events_path with
+          | Ok () ->
+              List.iter
+                (fun (d : C.drift) ->
+                  Jn.emit ~level:Jn.Warn Jn.Golden_drift
+                    [
+                      ("experiment", d.C.d_experiment);
+                      ("metric", d.C.d_metric);
+                      ("expected", Printf.sprintf "%.6g" d.C.d_expected);
+                      ( "actual",
+                        match d.C.d_actual with
+                        | None -> "missing"
+                        | Some a -> Printf.sprintf "%.6g" a );
+                      ("rtol", Printf.sprintf "%g" d.C.d_rtol);
+                    ])
+                drifts;
+              Jn.close_sink ()
+          | Result.Error _ -> ());
+          Jn.set_enabled false;
           let e =
             R.makef
               ~context:[ ("manifest", manifest); ("golden", golden) ]
@@ -596,6 +691,47 @@ let golden_cmd =
 (* ------------------------------------------------------------------ *)
 (* `stats`: render a run's telemetry profile. *)
 
+(* Machine-readable stats rendering: span paths flattened, quantiles
+   precomputed — the shape scripts want, on the Checkpoint JSON dialect. *)
+let stats_json ~path prof =
+  let rec flatten prefix acc (s : Runtime.Telemetry.span) =
+    let p = prefix ^ s.T.span_name in
+    let acc =
+      C.Obj
+        [
+          ("path", C.Str p);
+          ("calls", C.Num (float_of_int s.T.calls));
+          ("total_s", C.Num s.T.total_s);
+        ]
+      :: acc
+    in
+    List.fold_left (flatten (p ^ "/")) acc s.T.children
+  in
+  C.Obj
+    [
+      ("profile", C.Str path);
+      ("spans", C.Arr (List.rev (List.fold_left (flatten "") [] prof.T.p_spans)));
+      ( "counters",
+        C.Obj
+          (List.map (fun (k, v) -> (k, C.Num (float_of_int v))) prof.T.p_counters)
+      );
+      ( "dists",
+        C.Arr
+          (List.map
+             (fun (name, d) ->
+               C.Obj
+                 [
+                   ("name", C.Str name);
+                   ("count", C.Num (float_of_int d.T.d_count));
+                   ("mean", C.Num (T.mean d));
+                   ("p50", C.Num (T.percentile d 0.5));
+                   ("p95", C.Num (T.percentile d 0.95));
+                   ("min", C.Num (if d.T.d_count = 0 then 0.0 else d.T.d_min));
+                   ("max", C.Num (if d.T.d_count = 0 then 0.0 else d.T.d_max));
+                 ])
+             prof.T.p_dists) );
+    ]
+
 let stats_cmd =
   let run_pos =
     let doc = "Run name whose profile to render (_runs/$(docv)/profile.json)." in
@@ -605,13 +741,23 @@ let stats_cmd =
     let doc = "Read the profile from $(docv) instead of _runs/<run>/profile.json." in
     Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
   in
-  let run run_name file =
+  let json_arg =
+    let doc =
+      "Emit the rendering as JSON on stdout (flattened span paths, \
+       counters, distribution quantiles) instead of the human tables."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run run_name file json =
     let path =
       match file with Some p -> p | None -> profile_path_of run_name
     in
     let prof = R.get_exn (T.load ~path) in
-    Format.fprintf std "profile: %s@." path;
-    T.pp std prof;
+    if json then print_string (C.json_to_string (stats_json ~path prof))
+    else begin
+      Format.fprintf std "profile: %s@." path;
+      T.pp std prof
+    end;
     0
   in
   Cmd.v
@@ -621,9 +767,195 @@ let stats_cmd =
           `cntpower all --profile`: the hierarchical span tree (wall time \
           per pipeline stage per experiment), monotonic counters (DC \
           solves, cache hits, matches tried, words simulated) and \
-          throughput distributions. A missing or malformed profile exits \
-          with its typed error code, never a backtrace.")
-    Term.(const run $ run_pos $ file_arg)
+          throughput distributions; --json emits the same data \
+          machine-readably. A missing or malformed profile exits with its \
+          typed error code, never a backtrace.")
+    Term.(const run $ run_pos $ file_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* `trace`: Chrome trace_event export of profile + journal.            *)
+
+let load_events_lenient path =
+  if Sys.file_exists path then
+    match Jn.load ~path with
+    | Ok (evs, skipped) ->
+        if skipped > 0 then
+          Format.eprintf
+            "cntpower: skipped %d malformed line(s) in %s (torn write?)@."
+            skipped path;
+        evs
+    | Result.Error e ->
+        Format.eprintf "cntpower: cannot read journal %s: %a@." path R.pp e;
+        []
+  else []
+
+let trace_cmd =
+  let run_pos =
+    let doc =
+      "Run whose profile and journal to export \
+       (_runs/$(docv)/profile.json + events.jsonl)."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"RUN" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the trace to $(docv) instead of _runs/<run>/trace.json." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run run_name out =
+    let prof = R.get_exn (T.load ~path:(profile_path_of run_name)) in
+    let events = load_events_lenient (events_path_of run_name) in
+    if events = [] then
+      Format.eprintf
+        "cntpower: no journal events for run %s; spans will be laid out \
+         sequentially on one track@."
+        run_name;
+    let out = match out with Some p -> p | None -> trace_path_of run_name in
+    R.get_exn (Tr.save ~path:out ~events prof);
+    Format.fprintf std
+      "trace: %s (%d journal events; open in chrome://tracing or \
+       ui.perfetto.dev)@."
+      out (List.length events);
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Export a profiled run as Chrome trace_event JSON: telemetry \
+          spans become duration events, one track per worker PID \
+          (anchored at the journal's experiment_started timestamps), and \
+          journal events become instants. Open the result in \
+          chrome://tracing or Perfetto. Requires `cntpower all --profile`.")
+    Term.(const run $ run_pos $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* `compare`: cross-run regression gate over profiles + manifests.     *)
+
+let compare_cmd =
+  let base_pos =
+    let doc =
+      "Baseline run name, or a profile JSON file (an argument containing \
+       a '/' or ending in .json is read as a file)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN-A" ~doc)
+  in
+  let cur_pos =
+    let doc = "Current run name (or profile JSON file) to compare against the baseline." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"RUN-B" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Compare $(i,RUN-A) (as the current run) against this baseline \
+       profile file, e.g. the committed BENCH_profile.json."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let wall_rtol_arg =
+    let doc = "Allowed relative wall-clock slowdown per span before it regresses." in
+    Arg.(value & opt float Cp.default.Cp.wall_rtol & info [ "wall-rtol" ] ~doc)
+  in
+  let counter_rtol_arg =
+    let doc = "Allowed relative drift per counter (two-sided)." in
+    Arg.(value & opt float Cp.default.Cp.counter_rtol & info [ "counter-rtol" ] ~doc)
+  in
+  let scalar_rtol_arg =
+    let doc = "Allowed relative drift per manifest scalar (two-sided)." in
+    Arg.(value & opt float Cp.default.Cp.scalar_rtol & info [ "scalar-rtol" ] ~doc)
+  in
+  let min_wall_arg =
+    let doc =
+      "Spans faster than this (seconds) in both runs never regress — \
+       sub-jitter timings are noise."
+    in
+    Arg.(value & opt float Cp.default.Cp.min_wall_s & info [ "min-wall" ] ~docv:"SECONDS" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the comparison report as JSON on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let validate_rtol name v =
+    if not (Float.is_finite v) || v < 0.0 then
+      R.failf
+        ~context:[ (name, Printf.sprintf "%h" v) ]
+        R.Cli R.Validation_error "--%s must be a finite number >= 0 (got %g)"
+        name v
+  in
+  let side_of arg =
+    if String.contains arg '/' || Filename.check_suffix arg ".json" then
+      `File arg
+    else `Run arg
+  in
+  let profile_of = function
+    | `File p -> R.get_exn (T.load ~path:p)
+    | `Run r -> R.get_exn (T.load ~path:(profile_path_of r))
+  in
+  let manifest_of = function
+    | `File _ -> None
+    | `Run r ->
+        let path = manifest_path_of r in
+        if not (Sys.file_exists path) then None
+        else (
+          match C.load ~path with
+          | Ok m -> Some m
+          | Result.Error e ->
+              Format.eprintf
+                "cntpower: ignoring unreadable manifest %s: %a@." path R.pp e;
+              None)
+  in
+  let run base_arg cur_arg baseline wall_rtol counter_rtol scalar_rtol
+      min_wall json =
+    validate_rtol "wall-rtol" wall_rtol;
+    validate_rtol "counter-rtol" counter_rtol;
+    validate_rtol "scalar-rtol" scalar_rtol;
+    validate_rtol "min-wall" min_wall;
+    let base, cur =
+      match (baseline, cur_arg) with
+      | Some file, None -> (`File file, side_of base_arg)
+      | None, Some cur -> (side_of base_arg, side_of cur)
+      | Some _, Some _ ->
+          R.failf R.Cli R.Validation_error
+            "give either RUN-B or --baseline FILE, not both"
+      | None, None ->
+          R.failf R.Cli R.Validation_error
+            "compare needs two runs, or one run and --baseline FILE"
+    in
+    let tol =
+      {
+        Cp.wall_rtol;
+        counter_rtol;
+        scalar_rtol;
+        min_wall_s = min_wall;
+      }
+    in
+    let base_prof = profile_of base in
+    let cur_prof = profile_of cur in
+    let items = Cp.compare_profiles ~tol ~base:base_prof cur_prof in
+    let items =
+      match (manifest_of base, manifest_of cur) with
+      | Some bm, Some cm -> items @ Cp.compare_manifests ~tol ~base:bm cm
+      | _ -> items
+    in
+    let report = { Cp.tol; items } in
+    if json then print_string (C.json_to_string (Cp.to_json report))
+    else Cp.pp std report;
+    match Cp.regression_error report with
+    | None -> 0
+    | Some e ->
+        Format.eprintf "cntpower: %a@." R.pp e;
+        R.exit_code e
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two profiled runs (or one run against a committed baseline \
+          profile): per-span wall-clock deltas, counter drift, and \
+          manifest scalar drift, each under its own relative tolerance. \
+          Exits 0 when everything is within tolerance and 28 \
+          (cli/regression) when any metric regressed, so CI can gate on \
+          performance drift exactly like `golden --check` gates on \
+          metric drift.")
+    Term.(
+      const run $ base_pos $ cur_pos $ baseline_arg $ wall_rtol_arg
+      $ counter_rtol_arg $ scalar_rtol_arg $ min_wall_arg $ json_arg)
 
 let main =
   Cmd.group
@@ -634,7 +966,7 @@ let main =
     [
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
-      check_cmd; all_cmd; golden_cmd; stats_cmd;
+      check_cmd; all_cmd; golden_cmd; stats_cmd; trace_cmd; compare_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

@@ -2,6 +2,7 @@ module E = Runtime.Cnt_error
 module C = Runtime.Checkpoint
 module S = Runtime.Supervisor
 module T = Runtime.Telemetry
+module Jn = Runtime.Journal
 
 type mode = Keep_going | Strict
 
@@ -47,10 +48,50 @@ type summary = { mode : mode; results : (string * status) list; aborted : bool }
 
 let entry name doc run = { name; doc; run }
 
+(* One lifecycle event per experiment attempt. [experiment_started] is
+   emitted by the process actually doing the work — inside the worker
+   when supervised — so the journal records the worker PID and the trace
+   exporter can anchor the experiment's span tree on that track. *)
+let note_started ~degraded name =
+  if Jn.enabled () then
+    Jn.emit ~level:Jn.Debug Jn.Experiment_started
+      [ ("experiment", name); ("degraded", string_of_bool degraded) ]
+
+let note_done name status =
+  if Jn.enabled () then
+    let fields =
+      match status with
+      | Passed { wall; degraded; attempts; scalars } ->
+          [
+            ("experiment", name);
+            ("status", if degraded then "degraded" else "passed");
+            ("wall_s", Printf.sprintf "%.3f" wall);
+            ("attempts", string_of_int attempts);
+            ("scalars", string_of_int (List.length scalars));
+          ]
+      | Failed { wall; attempts; error } ->
+          [
+            ("experiment", name);
+            ("status", "failed");
+            ("wall_s", Printf.sprintf "%.3f" wall);
+            ("attempts", string_of_int attempts);
+            ("error", E.code_name error.E.code);
+          ]
+      | Resumed en ->
+          [
+            ("experiment", name);
+            ("status", "resumed");
+            ("from", C.status_name en.C.status);
+          ]
+      | Skipped -> [ ("experiment", name); ("status", "skipped") ]
+    in
+    Jn.emit ~level:Jn.Debug Jn.Experiment_done fields
+
 let run_one config ppf e =
   Format.fprintf ppf "@.=== %s: %s ===@." e.name e.doc;
   match config.policy with
   | None -> (
+      note_started ~degraded:false e.name;
       let t0 = Unix.gettimeofday () in
       match
         E.protect ~stage:E.Experiment (fun () ->
@@ -78,6 +119,7 @@ let run_one config ppf e =
          pipe and is grafted under a span named for the experiment. *)
       let outcome =
         S.run ~policy ~name:e.name (fun ~degraded ->
+            note_started ~degraded e.name;
             if T.enabled () then T.reset ();
             let scalars = e.run ~degraded ppf in
             let prof = if T.enabled () then Some (T.snapshot ()) else None in
@@ -149,7 +191,14 @@ let checkpoint config manifest name status =
       | Some en -> (
           manifest := C.add !manifest en;
           match C.save ~path !manifest with
-          | Ok () -> ()
+          | Ok () ->
+              if Jn.enabled () then
+                Jn.emit ~level:Jn.Debug Jn.Checkpoint_written
+                  [
+                    ("path", path);
+                    ("experiment", name);
+                    ("entries", string_of_int (List.length !manifest.C.entries));
+                  ]
           | Result.Error err ->
               Format.eprintf "harness: cannot checkpoint to %s: %a@." path
                 E.pp err))
@@ -181,6 +230,7 @@ let run_all ?(config = default_config) ppf entries =
           | Some en ->
               Format.fprintf ppf "@.=== %s: resumed from manifest (%s) ===@."
                 e.name (C.status_name en.C.status);
+              note_done e.name (Resumed en);
               (e.name, Resumed en)
           | None ->
               let status = run_one config ppf e in
@@ -189,6 +239,7 @@ let run_all ?(config = default_config) ppf entries =
                   Format.fprintf ppf "FAILED %s: %a@." e.name E.pp error;
                   if config.mode = Strict then aborted := true
               | _ -> ());
+              note_done e.name status;
               checkpoint config manifest e.name status;
               (e.name, status))
       entries

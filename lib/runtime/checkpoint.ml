@@ -233,6 +233,39 @@ let json_to_string v =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Compact single-line rendering: one journal event per line in
+   events.jsonl, and the (large) Chrome trace file, where pretty-printing
+   would triple the size. *)
+let json_to_string_compact v =
+  let b = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> Buffer.add_string b (number_to_string f)
+    | Str s -> escape_string b s
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            emit item)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            escape_string b k;
+            Buffer.add_char b ':';
+            emit v)
+          fields;
+        Buffer.add_char b '}'
+  in
+  emit v;
+  Buffer.contents b
+
 (* Decoding helpers: every shape violation is a typed parse error naming
    the offending field. *)
 

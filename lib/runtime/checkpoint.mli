@@ -26,6 +26,10 @@ val json_of_string : string -> (json, Cnt_error.t) result
 val json_to_string : json -> string
 (** Pretty-printed with two-space indentation and a trailing newline. *)
 
+val json_to_string_compact : json -> string
+(** Single-line rendering without a trailing newline; used for JSONL
+    event lines ({!Journal}) and the Chrome trace ({!Trace_export}). *)
+
 (** {2 Decoding and I/O helpers}
 
     Shared with {!Telemetry} so every on-disk artifact ([manifest.json],

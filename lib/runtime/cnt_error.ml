@@ -24,6 +24,7 @@ type code =
   | Io_error
   | Worker_timeout
   | Worker_killed
+  | Regression
   | Internal
 
 type t = {
@@ -80,6 +81,7 @@ let code_name = function
   | Io_error -> "io-error"
   | Worker_timeout -> "worker-timeout"
   | Worker_killed -> "worker-killed"
+  | Regression -> "regression"
   | Internal -> "internal"
 
 let pp ppf e =
@@ -134,3 +136,4 @@ let exit_code e =
   | Worker_timeout -> 25
   | Worker_killed -> 26
   | Internal -> 27
+  | Regression -> 28

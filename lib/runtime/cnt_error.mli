@@ -37,6 +37,7 @@ type code =
   | Io_error  (** file system failure *)
   | Worker_timeout  (** a supervised worker exceeded its wall-clock watchdog *)
   | Worker_killed  (** a supervised worker died on a signal or nonzero exit *)
+  | Regression  (** cross-run comparison found drift beyond tolerance *)
   | Internal  (** wrapped unexpected exception; a bug if user-visible *)
 
 type t = {
@@ -103,7 +104,8 @@ val get_exn : ('a, t) result -> 'a
 (** [Ok x -> x], [Result.Error e -> raise (Error e)]. *)
 
 val exit_code : t -> int
-(** Distinct process exit code per error class, in 12..27 (documented in the
+(** Distinct process exit code per error class, in 12..28 (documented in the
     README). Reserved: 0 success, 10 keep-going run with failures,
     11 strict run aborted. Supervised-worker failures use 25
-    ([Worker_timeout]) and 26 ([Worker_killed]). *)
+    ([Worker_timeout]) and 26 ([Worker_killed]); performance-regression
+    drift detected by [cntpower compare] uses 28 ([Regression]). *)

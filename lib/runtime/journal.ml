@@ -1,0 +1,258 @@
+module E = Cnt_error
+module J = Checkpoint
+
+type level = Debug | Info | Warn
+
+type kind =
+  | Run_started
+  | Run_finished
+  | Experiment_started
+  | Experiment_done
+  | Worker_spawned
+  | Worker_exited
+  | Worker_retry
+  | Worker_timeout
+  | Worker_killed
+  | Checkpoint_written
+  | Solver_damped_retry
+  | Golden_drift
+  | Custom of string
+
+type event = {
+  ev_seq : int;
+  ev_time : float;
+  ev_pid : int;
+  ev_level : level;
+  ev_kind : kind;
+  ev_fields : (string * string) list;
+}
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let level_of_name = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | _ -> None
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+let kind_name = function
+  | Run_started -> "run_started"
+  | Run_finished -> "run_finished"
+  | Experiment_started -> "experiment_started"
+  | Experiment_done -> "experiment_done"
+  | Worker_spawned -> "worker_spawned"
+  | Worker_exited -> "worker_exited"
+  | Worker_retry -> "worker_retry"
+  | Worker_timeout -> "worker_timeout"
+  | Worker_killed -> "worker_killed"
+  | Checkpoint_written -> "checkpoint_written"
+  | Solver_damped_retry -> "solver_damped_retry"
+  | Golden_drift -> "golden_drift"
+  | Custom s -> s
+
+let kind_of_name = function
+  | "run_started" -> Run_started
+  | "run_finished" -> Run_finished
+  | "experiment_started" -> Experiment_started
+  | "experiment_done" -> Experiment_done
+  | "worker_spawned" -> Worker_spawned
+  | "worker_exited" -> Worker_exited
+  | "worker_retry" -> Worker_retry
+  | "worker_timeout" -> Worker_timeout
+  | "worker_killed" -> Worker_killed
+  | "checkpoint_written" -> Checkpoint_written
+  | "solver_damped_retry" -> Solver_damped_retry
+  | "golden_drift" -> Golden_drift
+  | other -> Custom other
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+let on = ref false
+let seq = ref 0
+let sink : out_channel option ref = ref None
+let capture : event list ref option ref = ref None
+let echo_threshold : level option ref = ref (Some Info)
+
+let enabled () = !on
+let set_enabled b = on := b
+let set_verbosity v = echo_threshold := v
+let verbosity () = !echo_threshold
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let event_to_json ev =
+  J.Obj
+    [
+      ("seq", J.Num (float_of_int ev.ev_seq));
+      ("t", J.Num ev.ev_time);
+      ("pid", J.Num (float_of_int ev.ev_pid));
+      ("level", J.Str (level_name ev.ev_level));
+      ("event", J.Str (kind_name ev.ev_kind));
+      ("fields", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) ev.ev_fields));
+    ]
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let event_of_json j =
+  let* seq = Result.bind (J.field j "seq") (J.as_num "seq") in
+  let* ev_time = Result.bind (J.field j "t") (J.as_num "t") in
+  let* pid = Result.bind (J.field j "pid") (J.as_num "pid") in
+  let* level_str = Result.bind (J.field j "level") (J.as_str "level") in
+  let* ev_level =
+    match level_of_name level_str with
+    | Some l -> Ok l
+    | None -> E.error E.Cli E.Parse_error "unknown event level %S" level_str
+  in
+  let* kind_str = Result.bind (J.field j "event") (J.as_str "event") in
+  let* ev_fields =
+    match J.field j "fields" with
+    | Ok (J.Obj fields) ->
+        map_result
+          (fun (k, v) ->
+            let* s = J.as_str k v in
+            Ok (k, s))
+          fields
+    | Ok _ -> E.error E.Cli E.Parse_error "field \"fields\" must be an object"
+    | Error e -> Error e
+  in
+  Ok
+    {
+      ev_seq = int_of_float seq;
+      ev_time;
+      ev_pid = int_of_float pid;
+      ev_level;
+      ev_kind = kind_of_name kind_str;
+      ev_fields;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let close_sink () =
+  match !sink with
+  | None -> ()
+  | Some oc ->
+      sink := None;
+      (try close_out oc with Sys_error _ -> ())
+
+let open_sink ~path =
+  close_sink ();
+  match
+    mkdir_p (Filename.dirname path);
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  with
+  | oc ->
+      sink := Some oc;
+      Ok ()
+  | exception Sys_error msg ->
+      E.error ~context:[ ("path", path) ] E.Cli E.Io_error "%s" msg
+  | exception Unix.Unix_error (err, _, _) ->
+      E.error ~context:[ ("path", path) ] E.Cli E.Io_error "%s"
+        (Unix.error_message err)
+
+(* A whole line then a flush: a crash can tear at most the line being
+   written, and readers skip torn lines (see [load]). *)
+let write_line ev =
+  match !sink with
+  | None -> ()
+  | Some oc -> (
+      try
+        output_string oc (J.json_to_string_compact (event_to_json ev));
+        output_char oc '\n';
+        flush oc
+      with Sys_error _ -> ())
+
+let append_events evs = List.iter write_line evs
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let pp_event ppf ev =
+  Format.fprintf ppf "%s" (kind_name ev.ev_kind);
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) ev.ev_fields
+
+let echoes level =
+  match !echo_threshold with
+  | None -> false
+  | Some th -> level_rank level >= level_rank th
+
+let emit ?(level = Info) ?msg kind fields =
+  if !on then begin
+    incr seq;
+    let ev =
+      {
+        ev_seq = !seq;
+        ev_time = Unix.gettimeofday ();
+        ev_pid = Unix.getpid ();
+        ev_level = level;
+        ev_kind = kind;
+        ev_fields = fields;
+      }
+    in
+    (match !capture with
+    | Some buf -> buf := ev :: !buf
+    | None -> write_line ev);
+    if echoes level then
+      match msg with
+      | Some m -> Format.eprintf "%s@." m
+      | None -> Format.eprintf "journal: %a@." pp_event ev
+  end
+
+let begin_capture () =
+  if !on then begin
+    (* The inherited channel shares the parent's file description; the
+       worker must never write through it. Dropping the reference (without
+       closing: closing would flush shared state) is enough — the worker
+       _exits without running at_exit. *)
+    sink := None;
+    capture := Some (ref []);
+    seq := 0
+  end
+
+let end_capture () =
+  match !capture with
+  | None -> []
+  | Some buf ->
+      capture := None;
+      List.rev !buf
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+let find ev name = List.assoc_opt name ev.ev_fields
+
+let load ~path =
+  let* text = J.read_file path in
+  let lines = String.split_on_char '\n' text in
+  let events, skipped =
+    List.fold_left
+      (fun (evs, skipped) line ->
+        if String.trim line = "" then (evs, skipped)
+        else
+          match
+            let* j = J.json_of_string line in
+            event_of_json j
+          with
+          | Ok ev -> (ev :: evs, skipped)
+          | Error _ -> (evs, skipped + 1))
+      ([], 0) lines
+  in
+  Ok (List.rev events, skipped)

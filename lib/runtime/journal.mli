@@ -1,0 +1,111 @@
+(** Append-only structured event journal for supervised runs.
+
+    While {!Telemetry} answers "where did the time go", the journal
+    answers "what happened": every run of [cntpower all] appends typed,
+    leveled events — run/experiment lifecycle, worker spawns and deaths,
+    retries, checkpoint writes, damped solver recoveries, golden drift —
+    to [_runs/<name>/events.jsonl], one JSON object per line. Lines are
+    written whole and flushed immediately, so a [kill -9] of the driver
+    loses at most the event in flight and the file stays parseable.
+
+    Like {!Telemetry}, collection is off by default and every entry point
+    is a single branch on one flag when disabled; call sites that build
+    field lists guard on {!enabled} so the disabled pipeline allocates
+    nothing.
+
+    Forked workers cannot share the parent's file offset, so a worker
+    {!begin_capture}s on entry (dropping the inherited sink), buffers its
+    events in memory, and the supervisor ships them back over the result
+    pipe for the parent to {!append_events} — same transport as worker
+    telemetry profiles. Events carry the emitting PID and a per-process
+    monotonic sequence number, so the merged file keeps full provenance:
+    file order is append order, and per-PID [seq] is strictly
+    increasing. *)
+
+type level = Debug | Info | Warn
+
+type kind =
+  | Run_started
+  | Run_finished
+  | Experiment_started
+  | Experiment_done
+  | Worker_spawned
+  | Worker_exited
+  | Worker_retry
+  | Worker_timeout
+  | Worker_killed
+  | Checkpoint_written
+  | Solver_damped_retry
+  | Golden_drift
+  | Custom of string
+      (** forward compatibility: unknown names parse as [Custom] rather
+          than failing the whole journal *)
+
+type event = {
+  ev_seq : int;  (** monotonic per emitting process, from 1 *)
+  ev_time : float;  (** unix epoch seconds *)
+  ev_pid : int;  (** emitting process *)
+  ev_level : level;
+  ev_kind : kind;
+  ev_fields : (string * string) list;
+}
+
+val level_name : level -> string
+val kind_name : kind -> string
+val kind_of_name : string -> kind
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val set_verbosity : level option -> unit
+(** Echo threshold for the live stderr rendering of events: [None]
+    silences all chatter ([--log-level quiet]), [Some Info] echoes info
+    and warnings (default), [Some Debug] echoes everything. The on-disk
+    journal always records every event regardless of verbosity. *)
+
+val verbosity : unit -> level option
+
+val open_sink : path:string -> (unit, Cnt_error.t) result
+(** Open (append, create, parent directories as needed) the JSONL sink.
+    Any previously open sink is closed first. *)
+
+val close_sink : unit -> unit
+(** Flush and close the sink if open. Safe to call when none is. *)
+
+val emit : ?level:level -> ?msg:string -> kind -> (string * string) list -> unit
+(** Record one event: stamp it with the next sequence number, the clock
+    and the PID, write it to the sink (or the capture buffer inside a
+    worker), and echo one line to stderr when [level] passes the
+    verbosity threshold ([msg] overrides the default rendering). No-op
+    when disabled — guard field-list construction on {!enabled} in hot
+    paths. *)
+
+val begin_capture : unit -> unit
+(** Worker-side, immediately after [fork]: drop the inherited sink and
+    buffer subsequent events in memory with a fresh sequence counter.
+    No-op when disabled. *)
+
+val end_capture : unit -> event list
+(** Return the buffered events in emission order and leave capture mode.
+    [[]] when not capturing. *)
+
+val append_events : event list -> unit
+(** Parent-side: write already-stamped events (a worker's capture) to the
+    sink verbatim — no re-stamping, no echo (the worker already echoed to
+    the shared stderr as it ran). *)
+
+val event_to_json : event -> Checkpoint.json
+val event_of_json : Checkpoint.json -> (event, Cnt_error.t) result
+
+val load : path:string -> (event list * int, Cnt_error.t) result
+(** Parse a journal file: events in file order plus the number of
+    malformed lines skipped. A torn final line (the crash case) or an
+    interleaved corrupt line degrades to a skip count, never a failure;
+    only an unreadable file is an error. *)
+
+val find : event -> string -> string option
+(** Field lookup. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line human rendering, e.g.
+    ["worker_spawned worker=table1 worker_pid=4243"]. *)

@@ -70,6 +70,9 @@ let read_until_eof ~deadline fd =
   in
   loop ()
 
+(* Worker journal events ride the result pipe next to the result itself
+   (the same transport as worker telemetry profiles): the worker captures
+   them in memory and the parent appends them to the on-disk journal. *)
 let run_forked ~timeout_s ~name ~degraded f =
   flush_all_output ();
   let rd, wr = Unix.pipe () in
@@ -79,10 +82,16 @@ let run_forked ~timeout_s ~name ~degraded f =
          stdio so experiment output lands before the parent resumes, ship
          the result, and _exit without running parent atexit handlers. *)
       Unix.close rd;
+      Journal.begin_capture ();
       let result = E.protect ~stage:E.Experiment (fun () -> f ~degraded) in
+      let events = Journal.end_capture () in
       flush_all_output ();
       (try
-         let payload = Marshal.to_bytes (result : (_, E.t) result) [] in
+         let payload =
+           Marshal.to_bytes
+             ((result, events) : (_, E.t) result * Journal.event list)
+             []
+         in
          let oc = Unix.out_channel_of_descr wr in
          output_bytes oc payload;
          flush oc
@@ -90,6 +99,14 @@ let run_forked ~timeout_s ~name ~degraded f =
       Unix._exit 0
   | pid -> (
       Unix.close wr;
+      if Journal.enabled () then
+        Journal.emit ~level:Debug Journal.Worker_spawned
+          [
+            ("worker", name);
+            ("worker_pid", string_of_int pid);
+            ("timeout_s", Printf.sprintf "%.1f" timeout_s);
+            ("degraded", string_of_bool degraded);
+          ];
       let deadline =
         if timeout_s > 0.0 then Some (Unix.gettimeofday () +. timeout_s)
         else None
@@ -100,6 +117,13 @@ let run_forked ~timeout_s ~name ~degraded f =
       | `Timeout ->
           Unix.kill pid Sys.sigkill;
           ignore (waitpid_retry pid);
+          if Journal.enabled () then
+            Journal.emit ~level:Warn Journal.Worker_timeout
+              [
+                ("worker", name);
+                ("worker_pid", string_of_int pid);
+                ("timeout_s", Printf.sprintf "%.1f" timeout_s);
+              ];
           Result.Error
             (E.makef
                ~context:
@@ -109,19 +133,36 @@ let run_forked ~timeout_s ~name ~degraded f =
                "worker exceeded its %.1fs wall-clock watchdog and was killed"
                timeout_s)
       | `Eof payload -> (
+          let killed detail =
+            if Journal.enabled () then
+              Journal.emit ~level:Warn Journal.Worker_killed
+                (("worker", name)
+                :: ("worker_pid", string_of_int pid)
+                :: detail)
+          in
           match waitpid_retry pid with
           | Unix.WEXITED 0 -> (
               match
-                (Marshal.from_bytes payload 0 : (_, E.t) result)
+                (Marshal.from_bytes payload 0
+                  : (_, E.t) result * Journal.event list)
               with
-              | result -> result
+              | result, events ->
+                  Journal.append_events events;
+                  if Journal.enabled () then
+                    Journal.emit ~level:Debug Journal.Worker_exited
+                      [
+                        ("worker", name); ("worker_pid", string_of_int pid);
+                      ];
+                  result
               | exception _ ->
+                  killed [ ("exit", "0") ];
                   Result.Error
                     (E.make
                        ~context:(worker_ctx ~name [])
                        E.Experiment E.Internal
                        "worker exited cleanly but returned no result"))
           | Unix.WEXITED code ->
+              killed [ ("exit", string_of_int code) ];
               Result.Error
                 (E.makef
                    ~context:
@@ -129,6 +170,7 @@ let run_forked ~timeout_s ~name ~degraded f =
                    E.Experiment E.Worker_killed "worker exited with code %d"
                    code)
           | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+              killed [ ("signal", signal_name s) ];
               Result.Error
                 (E.makef
                    ~context:(worker_ctx ~name [ ("signal", signal_name s) ])
@@ -158,9 +200,21 @@ let run ?(policy = default_policy) ~name f =
         }
     | Result.Error e when n <= policy.retries && retryable e ->
         Telemetry.count "supervisor.retries" 1;
-        Format.eprintf "supervisor: %s attempt %d failed (%a), retrying%s@."
-          name n E.pp e
-          (if policy.degrade then " degraded" else "");
+        let msg =
+          Format.asprintf "supervisor: %s attempt %d failed (%a), retrying%s"
+            name n E.pp e
+            (if policy.degrade then " degraded" else "")
+        in
+        (* With the journal on, the retry notice is an event (echoed per
+           --log-level); without it, keep the historical stderr warning. *)
+        if Journal.enabled () then
+          Journal.emit ~level:Info ~msg Journal.Worker_retry
+            [
+              ("worker", name);
+              ("attempt", string_of_int n);
+              ("error", E.code_name e.E.code);
+            ]
+        else Format.eprintf "%s@." msg;
         go (n + 1)
     | Result.Error e ->
         {

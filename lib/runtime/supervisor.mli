@@ -9,6 +9,13 @@
     retried under a bounded policy, with the retry flagged as *degraded*
     so the job can shed load (the harness halves the pattern count).
 
+    When the {!Journal} is enabled the supervisor narrates itself:
+    [worker_spawned] / [worker_exited] / [worker_retry] /
+    [worker_timeout] / [worker_killed] events from the parent, and the
+    worker's own captured events (it {!Journal.begin_capture}s right
+    after the fork) ride the result pipe back next to the result and are
+    appended to the on-disk journal with their worker-PID provenance.
+
     On platforms without [fork] (Windows) jobs run in-process: results
     and typed errors are identical but the watchdog cannot interrupt a
     wedged job and worker death takes the supervisor with it. *)

@@ -1,0 +1,115 @@
+module T = Telemetry
+module J = Checkpoint
+
+let us s = s *. 1e6
+
+(* One X event per span node; children are laid out sequentially from the
+   parent's start so the tree shape and the measured durations survive
+   even though Telemetry aggregates by path rather than timestamping
+   individual calls. *)
+let rec span_events ~pid ~start (s : T.span) acc =
+  let ev =
+    J.Obj
+      [
+        ("name", J.Str s.T.span_name);
+        ("cat", J.Str "span");
+        ("ph", J.Str "X");
+        ("ts", J.Num (us start));
+        ("dur", J.Num (us s.T.total_s));
+        ("pid", J.Num (float_of_int pid));
+        ("tid", J.Num 0.0);
+        ("args", J.Obj [ ("calls", J.Num (float_of_int s.T.calls)) ]);
+      ]
+  in
+  let acc, _ =
+    List.fold_left
+      (fun (acc, cursor) child ->
+        (span_events ~pid ~start:cursor child acc, cursor +. child.T.total_s))
+      (acc, start) s.T.children
+  in
+  ev :: acc
+
+let instant_event ~t0 (ev : Journal.event) =
+  J.Obj
+    [
+      ("name", J.Str (Journal.kind_name ev.Journal.ev_kind));
+      ("cat", J.Str "journal");
+      ("ph", J.Str "i");
+      ("ts", J.Num (us (ev.Journal.ev_time -. t0)));
+      ("pid", J.Num (float_of_int ev.Journal.ev_pid));
+      ("tid", J.Num 0.0);
+      ("s", J.Str "p");
+      ( "args",
+        J.Obj
+          (("level", J.Str (Journal.level_name ev.Journal.ev_level))
+          :: ("seq", J.Str (string_of_int ev.Journal.ev_seq))
+          :: List.map (fun (k, v) -> (k, J.Str v)) ev.Journal.ev_fields) );
+    ]
+
+let process_name ~pid name =
+  J.Obj
+    [
+      ("name", J.Str "process_name");
+      ("ph", J.Str "M");
+      ("pid", J.Num (float_of_int pid));
+      ("tid", J.Num 0.0);
+      ("args", J.Obj [ ("name", J.Str name) ]);
+    ]
+
+let to_trace ?(events = []) (p : T.profile) =
+  let t0 =
+    List.fold_left
+      (fun acc ev -> Float.min acc ev.Journal.ev_time)
+      infinity events
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let main_pid =
+    match
+      List.find_opt
+        (fun ev -> ev.Journal.ev_kind = Journal.Run_started)
+        events
+    with
+    | Some ev -> ev.Journal.ev_pid
+    | None -> ( match events with ev :: _ -> ev.Journal.ev_pid | [] -> 0)
+  in
+  (* First experiment_started wins: retries re-start the same experiment
+     and the merged span tree covers all attempts from the first. *)
+  let starts =
+    List.fold_left
+      (fun acc ev ->
+        match
+          (ev.Journal.ev_kind, Journal.find ev "experiment")
+        with
+        | Journal.Experiment_started, Some exp
+          when not (List.mem_assoc exp acc) ->
+            (exp, (ev.Journal.ev_pid, ev.Journal.ev_time -. t0)) :: acc
+        | _ -> acc)
+      [] events
+  in
+  let metadata =
+    process_name ~pid:main_pid "cntpower (driver)"
+    :: List.filter_map
+         (fun (exp, (pid, _)) ->
+           if pid = main_pid then None
+           else Some (process_name ~pid ("worker: " ^ exp)))
+         starts
+  in
+  let spans, _ =
+    List.fold_left
+      (fun (acc, cursor) (s : T.span) ->
+        match List.assoc_opt s.T.span_name starts with
+        | Some (pid, start) -> (span_events ~pid ~start s acc, cursor)
+        | None ->
+            ( span_events ~pid:main_pid ~start:cursor s acc,
+              cursor +. s.T.total_s ))
+      ([], 0.0) p.T.p_spans
+  in
+  let instants = List.map (instant_event ~t0) events in
+  J.Obj
+    [
+      ("traceEvents", J.Arr (metadata @ List.rev spans @ instants));
+      ("displayTimeUnit", J.Str "ms");
+    ]
+
+let save ~path ?events p =
+  J.write_atomic ~path (J.json_to_string_compact (to_trace ?events p) ^ "\n")

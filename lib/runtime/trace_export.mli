@@ -1,0 +1,32 @@
+(** Chrome [trace_event] export of a run's profile and journal.
+
+    Converts a merged {!Telemetry} profile plus the {!Journal} events of
+    the same run into the JSON array format understood by
+    [chrome://tracing] and Perfetto ([ui.perfetto.dev]):
+
+    - every telemetry span becomes a complete ([ph = "X"]) event. Spans
+      are aggregated by path (calls + total wall), not individually
+      timestamped, so the exporter synthesizes a timeline: a top-level
+      experiment span starts at its [experiment_started] journal event
+      (on the worker's PID track — one track per worker) and its children
+      are laid out sequentially inside it, preserving the measured
+      durations and the tree shape;
+    - every journal event becomes an instant ([ph = "i"]) event on its
+      emitting PID's track, with the event fields as [args];
+    - process-name metadata labels each worker track with its
+      experiment.
+
+    Timestamps are microseconds relative to the earliest journal event
+    (or 0 when no events are given). *)
+
+val to_trace :
+  ?events:Journal.event list -> Telemetry.profile -> Checkpoint.json
+(** The trace document: [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val save :
+  path:string ->
+  ?events:Journal.event list ->
+  Telemetry.profile ->
+  (unit, Cnt_error.t) result
+(** Atomic write of the compact rendering (same convention as
+    {!Checkpoint.write_atomic}). *)

@@ -265,6 +265,14 @@ let simulate_checked circuit ~caps ~drives ~tstop ?(dv_max = 2.0e-3) ?(samples =
                   Ok (waves, { diag with retries = retry })
               | Result.Error e ->
                   T.count "spice.transient.damped_attempts_failed" 1;
+                  if Runtime.Journal.enabled () then
+                    Runtime.Journal.emit ~level:Runtime.Journal.Debug
+                      Runtime.Journal.Solver_damped_retry
+                      [
+                        ("retry", string_of_int (retry + 1));
+                        ("dv_max", Printf.sprintf "%.3g" (dv_max /. 2.0));
+                        ("error", Runtime.Cnt_error.code_name e.Runtime.Cnt_error.code);
+                      ];
                   go (retry + 1) (dv_max /. 2.0) (damping *. 0.5) e
           in
           go 0 dv_max 1.0

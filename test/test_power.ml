@@ -134,6 +134,16 @@ let cache_saves_solves () =
   Alcotest.(check int) "two hits" 2 stats.L.hits;
   Alcotest.(check (float 1e-9)) "hit ratio" (2.0 /. 3.0) (L.hit_ratio stats)
 
+let hit_ratio_zero_lookups () =
+  (* A fresh cache has no lookups: the ratio must be a defined 0.0, not a
+     0/0 NaN that poisons downstream telemetry. *)
+  L.clear_cache ();
+  let stats = L.cache_stats () in
+  Alcotest.(check int) "no hits" 0 stats.L.hits;
+  Alcotest.(check int) "no misses" 0 stats.L.misses;
+  Alcotest.(check (float 0.0)) "ratio defined at 0/0" 0.0
+    (L.hit_ratio stats)
+
 let classification_matches_brute_force () =
   (* A1: for a few gates, per-vector leakage computed through pattern
      classification equals direct per-vector DC simulation of the full off
@@ -319,6 +329,8 @@ let () =
           Alcotest.test_case "series divides" `Quick series_divides;
           Alcotest.test_case "empty pattern" `Quick empty_pattern_no_leak;
           Alcotest.test_case "cache saves solves" `Quick cache_saves_solves;
+          Alcotest.test_case "hit ratio with zero lookups" `Quick
+            hit_ratio_zero_lookups;
           Alcotest.test_case "classification = brute force" `Slow classification_matches_brute_force;
         ] );
       ( "leakage-properties",

@@ -156,6 +156,31 @@ let dist_statistics =
       Alcotest.(check (float 1e-9)) "p100 is the max" 5.0
         (T.percentile d 1.0))
 
+let dist_empty_edge_cases =
+  fresh (fun () ->
+      (* A distribution nobody observed: statistics must be total, not
+         raise on the empty sample. *)
+      let d =
+        { T.d_count = 0; d_sum = 0.0; d_min = infinity; d_max = neg_infinity;
+          d_samples = [||] }
+      in
+      Alcotest.(check (float 1e-9)) "empty mean is 0" 0.0 (T.mean d);
+      Alcotest.(check (float 1e-9)) "empty p50 is 0" 0.0 (T.percentile d 0.5);
+      Alcotest.(check (float 1e-9)) "empty p95 is 0" 0.0
+        (T.percentile d 0.95))
+
+let dist_single_sample =
+  fresh (fun () ->
+      T.observe "one" 7.25;
+      let p = T.snapshot () in
+      let d = Option.get (T.find_dist p "one") in
+      Alcotest.(check int) "count" 1 d.T.d_count;
+      (* Every quantile of a single observation is that observation. *)
+      Alcotest.(check (float 1e-9)) "p50" 7.25 (T.percentile d 0.5);
+      Alcotest.(check (float 1e-9)) "p95" 7.25 (T.percentile d 0.95);
+      Alcotest.(check (float 1e-9)) "mean" 7.25 (T.mean d);
+      Alcotest.(check (float 1e-9)) "min = max" d.T.d_min d.T.d_max)
+
 let dist_sample_bound =
   fresh (fun () ->
       let n = (T.max_samples * 4) + 17 in
@@ -326,6 +351,8 @@ let () =
         [
           tc "counters accumulate" counters_accumulate;
           tc "distribution statistics" dist_statistics;
+          tc "empty distribution statistics are total" dist_empty_edge_cases;
+          tc "single-sample quantiles" dist_single_sample;
           tc "sample reservoir stays bounded" dist_sample_bound;
         ] );
       ( "merge",
