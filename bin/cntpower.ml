@@ -61,6 +61,39 @@ let validate_retries r =
       ~context:[ ("retries", string_of_int r) ]
       R.Cli R.Validation_error "--retries must be in [0, 1000] (got %d)" r
 
+let validate_domains = function
+  | None -> ()
+  | Some d ->
+      if d < 1 || d > Runtime.Dpool.max_domains then
+        R.failf
+          ~context:[ ("domains", string_of_int d) ]
+          R.Cli R.Validation_error "--domains must be in [1, %d] (got %d)"
+          Runtime.Dpool.max_domains d
+
+(* Shared by the pipeline commands: pin the simulation domain count and
+   switch the persistent artifact caches. Results are bit-identical for
+   any domain count; --domains only moves wall clock. *)
+let apply_runtime_opts ~domains ~no_cache =
+  validate_domains domains;
+  Runtime.Dpool.set_default domains;
+  if no_cache then Runtime.Diskcache.set_enabled false
+  else Power.Leakage.set_persistent true
+
+let domains_arg =
+  let doc =
+    "Simulation worker domains (cores) for the pattern sweeps; default: \
+     the runtime's recommended count (or $(b,CNTPOWER_DOMAINS)). Results \
+     are bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Bypass the persistent _cache/ artifacts (match tables, leakage \
+     solves): rebuild everything from scratch and write nothing."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let find_circuit name =
   match
     List.find_opt (fun (e : Circuits.Suite.entry) -> e.Circuits.Suite.name = name)
@@ -170,9 +203,10 @@ let ablations_cmd =
    (unknown circuit, malformed generator output, mapping dead-end) is
    reported as a typed error and exits with its per-class code, exactly
    like the other subcommands. *)
-let run_synth circuit patterns seed =
+let run_synth circuit patterns seed domains no_cache =
   validate_patterns patterns;
   validate_seed seed;
+  apply_runtime_opts ~domains ~no_cache;
   let body () =
     let entry = find_circuit circuit in
     let nl = entry.Circuits.Suite.generate () in
@@ -212,7 +246,9 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize and map one benchmark with all three libraries, with details.")
-    Term.(const run_synth $ circuit_arg $ patterns_arg $ seed_arg)
+    Term.(
+      const run_synth $ circuit_arg $ patterns_arg $ seed_arg $ domains_arg
+      $ no_cache_arg)
 
 let genlib_cmd =
   let run () =
@@ -384,11 +420,13 @@ let all_cmd =
     Arg.(value & opt_all string [] & info [ "inject-flaky" ] ~docv:"NAME" ~doc)
   in
   let run patterns seed mode only with_blifs timeout retries no_supervise
-      resume run_name profile log_level inj_crash inj_hang inj_flaky =
+      resume run_name profile log_level domains no_cache inj_crash inj_hang
+      inj_flaky =
     validate_patterns patterns;
     validate_seed seed;
     validate_timeout timeout;
     validate_retries retries;
+    apply_runtime_opts ~domains ~no_cache;
     Jn.set_verbosity log_level;
     let entry = Experiments.Harness.entry in
     let budget ~degraded = if degraded then max 1 (patterns / 2) else patterns in
@@ -522,6 +560,8 @@ let all_cmd =
             | Experiments.Harness.Strict -> "strict" );
           ("supervised", string_of_bool (not no_supervise));
           ("profile", string_of_bool profile);
+          ("domains", string_of_int (Runtime.Dpool.default_domains ()));
+          ("cache", string_of_bool (Runtime.Diskcache.enabled ()));
           ("experiments", string_of_int (List.length entries));
         ];
       let summary = Experiments.Harness.run_all ~config std entries in
@@ -573,8 +613,8 @@ let all_cmd =
     Term.(
       const run $ patterns_arg $ seed_arg $ mode_arg $ only_arg $ with_blif_arg
       $ timeout_arg $ retries_arg $ no_supervise_arg $ resume_arg
-      $ run_name_arg $ profile_arg $ log_level_arg $ inject_crash_arg
-      $ inject_hang_arg $ inject_flaky_arg)
+      $ run_name_arg $ profile_arg $ log_level_arg $ domains_arg
+      $ no_cache_arg $ inject_crash_arg $ inject_hang_arg $ inject_flaky_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `golden`: the regression gate over a run manifest. *)
@@ -861,6 +901,14 @@ let compare_cmd =
     let doc = "Allowed relative drift per manifest scalar (two-sided)." in
     Arg.(value & opt float Cp.default.Cp.scalar_rtol & info [ "scalar-rtol" ] ~doc)
   in
+  let dist_rtol_arg =
+    let doc =
+      "Allowed relative drop of a distribution mean (one-sided; \
+       distributions like sim.patterns_per_s are throughput — only \
+       slower regresses)."
+    in
+    Arg.(value & opt float Cp.default.Cp.dist_rtol & info [ "dist-rtol" ] ~doc)
+  in
   let min_wall_arg =
     let doc =
       "Spans faster than this (seconds) in both runs never regress — \
@@ -902,10 +950,11 @@ let compare_cmd =
               None)
   in
   let run base_arg cur_arg baseline wall_rtol counter_rtol scalar_rtol
-      min_wall json =
+      dist_rtol min_wall json =
     validate_rtol "wall-rtol" wall_rtol;
     validate_rtol "counter-rtol" counter_rtol;
     validate_rtol "scalar-rtol" scalar_rtol;
+    validate_rtol "dist-rtol" dist_rtol;
     validate_rtol "min-wall" min_wall;
     let base, cur =
       match (baseline, cur_arg) with
@@ -923,6 +972,7 @@ let compare_cmd =
         Cp.wall_rtol;
         counter_rtol;
         scalar_rtol;
+        dist_rtol;
         min_wall_s = min_wall;
       }
     in
@@ -955,7 +1005,8 @@ let compare_cmd =
           metric drift.")
     Term.(
       const run $ base_pos $ cur_pos $ baseline_arg $ wall_rtol_arg
-      $ counter_rtol_arg $ scalar_rtol_arg $ min_wall_arg $ json_arg)
+      $ counter_rtol_arg $ scalar_rtol_arg $ dist_rtol_arg $ min_wall_arg
+      $ json_arg)
 
 let main =
   Cmd.group

@@ -19,7 +19,15 @@ val get : t -> int -> bool
 val set : t -> int -> bool -> unit
 
 val fill_random : Prng.t -> t -> unit
-(** Overwrite every bit with an independent fair coin flip. *)
+(** Overwrite every bit with an independent fair coin flip. Draws exactly
+    one {!Prng.next64} per storage word (i.e. [max 1 (words)]), in word
+    order — parallel fills rely on this draw count to split the stream
+    with {!Prng.jump}. *)
+
+val clamp : t -> unit
+(** Re-zero the bits past [length] in the last word. Only needed by code
+    that writes {!words} directly (the flat simulation kernels); every
+    operation of this module already maintains the invariant. *)
 
 val logand : t -> t -> t
 val logor : t -> t -> t

@@ -26,3 +26,9 @@ let float t =
   Int64.to_float v *. (1.0 /. 9007199254740992.0)
 
 let split t = create (next64 t)
+
+(* SplitMix64 is counter-mode: the k-th output is mix (seed + k*golden),
+   so skipping is a single multiply-add on the state. *)
+let jump t n =
+  assert (n >= 0);
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int n) golden)

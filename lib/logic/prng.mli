@@ -25,3 +25,11 @@ val float : t -> float
 
 val split : t -> t
 (** [split t] derives an independent generator, advancing [t]. *)
+
+val jump : t -> int -> unit
+(** [jump t n] advances [t] by exactly [n] draws in O(1): the next
+    {!next64} returns what the [(n+1)]-th call would have. SplitMix64 is
+    a counter-mode generator, so parallel simulation can hand each worker
+    a jumped copy and produce streams bit-identical to one sequential
+    generator filling the whole pattern axis. [n] must be
+    non-negative. *)

@@ -1,88 +1,207 @@
 module B = Logic.Bitvec
-module T = Logic.Truthtable
+module TT = Logic.Truthtable
+module T = Runtime.Telemetry
 
 type result = { num_patterns : int; node_values : B.t array }
 
-let apply_op op (args : B.t array) num_patterns =
-  let fold_map2 f init =
-    if Array.length args = 0 then init
-    else Array.fold_left f args.(0) (Array.sub args 1 (Array.length args - 1))
-  in
-  match (op : Netlist.op) with
-  | Netlist.Input -> invalid_arg "Sim.apply_op: Input"
-  | Netlist.Constant b ->
-      let v = B.create num_patterns in
-      if b then B.lognot v else v
-  | Netlist.Buf -> B.copy args.(0)
-  | Netlist.Not -> B.lognot args.(0)
-  | Netlist.And -> fold_map2 B.logand (B.lognot (B.create num_patterns))
-  | Netlist.Or -> fold_map2 B.logor (B.create num_patterns)
-  | Netlist.Xor -> fold_map2 B.logxor (B.create num_patterns)
-  | Netlist.Nand -> B.lognot (fold_map2 B.logand (B.lognot (B.create num_patterns)))
-  | Netlist.Nor -> B.lognot (fold_map2 B.logor (B.create num_patterns))
-  | Netlist.Xnor -> B.lognot (fold_map2 B.logxor (B.create num_patterns))
-  | Netlist.Mux ->
-      B.logor (B.logand args.(0) args.(2)) (B.logand (B.lognot args.(0)) args.(1))
-  | Netlist.Maj ->
-      B.logor
-        (B.logand args.(0) args.(1))
-        (B.logor (B.logand args.(0) args.(2)) (B.logand args.(1) args.(2)))
-  | Netlist.Lut tt ->
-      (* Evaluate via the irredundant cover: OR of word-level cube products. *)
-      let cubes = T.isop tt in
-      let acc = ref (B.create num_patterns) in
-      List.iter
-        (fun (c : T.cube) ->
-          let prod = ref (B.lognot (B.create num_patterns)) in
-          Array.iteri
-            (fun i arg ->
-              if (c.pos lsr i) land 1 = 1 then prod := B.logand !prod arg
-              else if (c.neg lsr i) land 1 = 1 then prod := B.logand !prod (B.lognot arg))
-            args;
-          acc := B.logor !acc !prod)
-        cubes;
-      !acc
+(* ------------------------------------------------------------------ *)
+(* Flat compiled form. The netlist is lowered once per [run] into an
+   instruction array over the raw int64 word buffers (inputs alias the
+   stimulus vectors, every other node gets a preallocated vector), and
+   the kernel below evaluates a word range with pure array arithmetic —
+   no allocation, no dispatch beyond one match per instruction per
+   chunk. Word-level bitwise ops are word-local, so evaluating disjoint
+   word ranges on different domains produces exactly the sequential
+   result; tail bits past [num_patterns] are clamped once at the end. *)
 
-let run t input_vectors =
-  let module T = Runtime.Telemetry in
+type kind =
+  | Kconst of bool
+  | Kbuf
+  | Knot
+  | Kand
+  | Kor
+  | Kxor
+  | Knand
+  | Knor
+  | Kxnor
+  | Kmux
+  | Kmaj
+  | Klut of TT.cube array
+
+type instr = { dst : int64 array; srcs : int64 array array; kind : kind }
+
+let compile t node_values =
+  let rev = ref [] in
+  Netlist.iter_nodes t (fun id op fanins ->
+      let kind =
+        match (op : Netlist.op) with
+        | Netlist.Input -> None
+        | Netlist.Constant b -> Some (Kconst b)
+        | Netlist.Buf -> Some Kbuf
+        | Netlist.Not -> Some Knot
+        | Netlist.And -> Some Kand
+        | Netlist.Or -> Some Kor
+        | Netlist.Xor -> Some Kxor
+        | Netlist.Nand -> Some Knand
+        | Netlist.Nor -> Some Knor
+        | Netlist.Xnor -> Some Kxnor
+        | Netlist.Mux -> Some Kmux
+        | Netlist.Maj -> Some Kmaj
+        | Netlist.Lut tt -> Some (Klut (Array.of_list (TT.isop tt)))
+      in
+      match kind with
+      | None -> ()
+      | Some kind ->
+          rev :=
+            {
+              dst = B.words node_values.(id);
+              srcs = Array.map (fun f -> B.words node_values.(f)) fanins;
+              kind;
+            }
+            :: !rev);
+  Array.of_list (List.rev !rev)
+
+(* Identity-seeded folds match the sequential [fold_map2] semantics:
+   all-ones is the identity of AND, zero of OR and XOR, so a zero-fanin
+   gate yields the identity and an n-ary gate the plain fold. *)
+let eval_range instrs ~lo ~len =
+  let hi = lo + len - 1 in
+  let nary dst srcs init op negate =
+    let n = Array.length srcs in
+    for w = lo to hi do
+      let acc = ref init in
+      for i = 0 to n - 1 do
+        acc := op !acc srcs.(i).(w)
+      done;
+      dst.(w) <- (if negate then Int64.lognot !acc else !acc)
+    done
+  in
+  Array.iter
+    (fun { dst; srcs; kind } ->
+      match kind with
+      | Kconst b ->
+          let v = if b then -1L else 0L in
+          for w = lo to hi do
+            dst.(w) <- v
+          done
+      | Kbuf ->
+          let a = srcs.(0) in
+          for w = lo to hi do
+            dst.(w) <- a.(w)
+          done
+      | Knot ->
+          let a = srcs.(0) in
+          for w = lo to hi do
+            dst.(w) <- Int64.lognot a.(w)
+          done
+      | Kand -> nary dst srcs (-1L) Int64.logand false
+      | Kor -> nary dst srcs 0L Int64.logor false
+      | Kxor -> nary dst srcs 0L Int64.logxor false
+      | Knand -> nary dst srcs (-1L) Int64.logand true
+      | Knor -> nary dst srcs 0L Int64.logor true
+      | Kxnor -> nary dst srcs 0L Int64.logxor true
+      | Kmux ->
+          let s = srcs.(0) and a = srcs.(1) and b = srcs.(2) in
+          for w = lo to hi do
+            let sw = s.(w) in
+            dst.(w) <-
+              Int64.logor (Int64.logand sw b.(w))
+                (Int64.logand (Int64.lognot sw) a.(w))
+          done
+      | Kmaj ->
+          let a = srcs.(0) and b = srcs.(1) and c = srcs.(2) in
+          for w = lo to hi do
+            let aw = a.(w) and bw = b.(w) and cw = c.(w) in
+            dst.(w) <-
+              Int64.logor (Int64.logand aw bw)
+                (Int64.logor (Int64.logand aw cw) (Int64.logand bw cw))
+          done
+      | Klut cubes ->
+          let ncubes = Array.length cubes and nsrc = Array.length srcs in
+          for w = lo to hi do
+            let acc = ref 0L in
+            for c = 0 to ncubes - 1 do
+              let { TT.pos; neg } = cubes.(c) in
+              let prod = ref (-1L) in
+              for i = 0 to nsrc - 1 do
+                if (pos lsr i) land 1 = 1 then
+                  prod := Int64.logand !prod srcs.(i).(w)
+                else if (neg lsr i) land 1 = 1 then
+                  prod := Int64.logand !prod (Int64.lognot srcs.(i).(w))
+              done;
+              acc := Int64.logor !acc !prod
+            done;
+            dst.(w) <- !acc
+          done)
+    instrs
+
+let words_per_vec patterns = max 1 ((patterns + 63) / 64)
+
+(* Patterns covered by the word range [lo, lo+len), clipped to the tail. *)
+let patterns_in ~patterns ~lo ~len =
+  let first = lo * 64 in
+  let last = min ((lo + len) * 64) patterns in
+  max 0 (last - first)
+
+let run ?domains t input_vectors =
   let ins = Netlist.inputs t in
   assert (Array.length input_vectors = Array.length ins);
   let num_patterns =
     if Array.length input_vectors = 0 then 0 else B.length input_vectors.(0)
   in
   Array.iter (fun v -> assert (B.length v = num_patterns)) input_vectors;
-  let node_values = Array.make (Netlist.size t) (B.create num_patterns) in
+  let node_values =
+    Array.init (Netlist.size t) (fun _ -> B.create num_patterns)
+  in
   Array.iteri (fun i id -> node_values.(id) <- input_vectors.(i)) ins;
+  let instrs = compile t node_values in
+  let wpv = words_per_vec num_patterns in
   let t0 = if T.enabled () then T.now () else 0.0 in
-  let evaluated = ref 0 in
-  Netlist.iter_nodes t (fun id op fanins ->
-      match op with
-      | Netlist.Input -> ()
-      | Netlist.Constant _ | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or
-      | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor | Netlist.Mux
-      | Netlist.Maj | Netlist.Lut _ ->
-          incr evaluated;
-          let args = Array.map (fun f -> node_values.(f)) fanins in
-          node_values.(id) <- apply_op op args num_patterns);
+  let stats =
+    Runtime.Dpool.run ?domains ~units:wpv (fun ~worker ~lo ~len ->
+        eval_range instrs ~lo ~len;
+        if T.enabled () then begin
+          T.count "sim.words_evaluated" (Array.length instrs * len);
+          T.count
+            (Printf.sprintf "sim.d%d.patterns_simulated" worker)
+            (patterns_in ~patterns:num_patterns ~lo ~len)
+        end)
+  in
+  Array.iter B.clamp node_values;
   if T.enabled () then begin
     let dt = T.now () -. t0 in
-    let words_per_vec = (num_patterns + 63) / 64 in
-    T.count "sim.nodes_evaluated" !evaluated;
-    T.count "sim.words_evaluated" (!evaluated * words_per_vec);
+    T.count "sim.nodes_evaluated" (Array.length instrs);
+    T.observe "sim.domains" (float_of_int stats.Runtime.Dpool.domains_used);
     if dt > 0.0 && num_patterns > 0 then
       T.observe "sim.patterns_per_s" (float_of_int num_patterns /. dt)
   end;
   { num_patterns; node_values }
 
-let run_random ?(seed = 42L) t n =
-  let rng = Logic.Prng.create seed in
-  let vectors =
-    Array.init (Netlist.num_inputs t) (fun _ ->
-        let v = B.create n in
-        B.fill_random rng v;
-        v)
+let random_stimulus ?domains ?(seed = 42L) ~inputs ~patterns () =
+  let vecs = Array.init inputs (fun _ -> B.create patterns) in
+  if inputs > 0 then begin
+    let wpv = Array.length (B.words vecs.(0)) in
+    (* One unit = one storage word, numbered in the exact order the
+       sequential per-vector fill consumes PRNG draws; jumping the
+       generator to a chunk's first draw keeps the parallel fill
+       bit-identical to the sequential one. *)
+    ignore
+      (Runtime.Dpool.run ?domains ~units:(inputs * wpv)
+         (fun ~worker:_ ~lo ~len ->
+           let rng = Logic.Prng.create seed in
+           Logic.Prng.jump rng lo;
+           for u = lo to lo + len - 1 do
+             (B.words vecs.(u / wpv)).(u mod wpv) <- Logic.Prng.next64 rng
+           done));
+    Array.iter B.clamp vecs
+  end;
+  vecs
+
+let run_random ?domains ?(seed = 42L) t n =
+  let stimulus =
+    random_stimulus ?domains ~seed ~inputs:(Netlist.num_inputs t) ~patterns:n ()
   in
-  run t vectors
+  run ?domains t stimulus
 
 let signal_probability r id =
   if r.num_patterns = 0 then 0.0

@@ -2,20 +2,42 @@
 
     This is the engine behind the 640 K random-pattern power estimation of
     the paper (Section 4): input vectors are packed 64 per machine word, and
-    the whole netlist is evaluated with word-level logic operations. *)
+    the whole netlist is evaluated with word-level logic operations.
+
+    The netlist is first lowered to a flat instruction stream over raw
+    word buffers (no per-gate allocation in the inner loop), then the
+    pattern axis is sharded into word-aligned chunks across domains with
+    {!Runtime.Dpool}. Word-level bitwise operations are word-local, so
+    the result is bit-identical for any domain count — including the
+    random stimulus, whose PRNG stream is split per chunk with
+    {!Logic.Prng.jump}. [?domains] defaults to
+    {!Runtime.Dpool.default_domains} ([--domains N] on the CLI); small
+    pattern counts fall back to a sequential loop. *)
 
 type result = {
   num_patterns : int;
   node_values : Logic.Bitvec.t array;  (** indexed by node id *)
 }
 
-val run : Netlist.t -> Logic.Bitvec.t array -> result
+val run : ?domains:int -> Netlist.t -> Logic.Bitvec.t array -> result
 (** [run t input_vectors] simulates with the given per-input stimulus (in
     [Netlist.inputs] order; all vectors must have equal length). *)
 
-val run_random : ?seed:int64 -> Netlist.t -> int -> result
+val random_stimulus :
+  ?domains:int ->
+  ?seed:int64 ->
+  inputs:int ->
+  patterns:int ->
+  unit ->
+  Logic.Bitvec.t array
+(** [inputs] fresh vectors of [patterns] uniform random bits each —
+    exactly the vectors a single [Prng.create seed] generator produces
+    filling vector 0 word-by-word, then vector 1, ... (bit-identical for
+    any [?domains]). *)
+
+val run_random : ?domains:int -> ?seed:int64 -> Netlist.t -> int -> result
 (** [run_random t n] simulates [n] uniform random patterns (deterministic
-    given [seed], default [42L]). *)
+    given [seed], default [42L], for any domain count). *)
 
 val signal_probability : result -> int -> float
 (** Fraction of patterns on which the node evaluates to 1. *)

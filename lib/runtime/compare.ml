@@ -6,14 +6,21 @@ type tolerances = {
   wall_rtol : float;
   counter_rtol : float;
   scalar_rtol : float;
+  dist_rtol : float;
   min_wall_s : float;
 }
 
 let default =
-  { wall_rtol = 0.5; counter_rtol = 0.1; scalar_rtol = 0.05; min_wall_s = 0.05 }
+  {
+    wall_rtol = 0.5;
+    counter_rtol = 0.1;
+    scalar_rtol = 0.05;
+    dist_rtol = 0.5;
+    min_wall_s = 0.05;
+  }
 
 type verdict = Within | Regressed | Improved | Missing | Added
-type kind = Span | Counter | Scalar
+type kind = Span | Counter | Scalar | Dist
 
 type item = {
   i_kind : kind;
@@ -36,6 +43,7 @@ let kind_name = function
   | Span -> "span"
   | Counter -> "counter"
   | Scalar -> "scalar"
+  | Dist -> "dist"
 
 let delta_rel i =
   match (i.i_base, i.i_cur) with
@@ -86,6 +94,18 @@ let span_verdict tol b c =
       else if c < b *. (1.0 -. tol.wall_rtol) then Improved
       else Within
 
+(* Distributions in the profile are throughput-like (patterns/s, parallel
+   speedup): higher is better, so only a drop beyond tolerance fails. *)
+let dist_verdict rtol b c =
+  match (b, c) with
+  | None, None -> Within
+  | Some _, None -> Missing
+  | None, Some _ -> Added
+  | Some b, Some c ->
+      if c < b *. (1.0 -. rtol) then Regressed
+      else if c > b *. (1.0 +. rtol) then Improved
+      else Within
+
 let drift_verdict rtol b c =
   match (b, c) with
   | None, None -> Within
@@ -108,7 +128,13 @@ let compare_profiles ?(tol = default) ~base cur =
       (List.map (fun (k, v) -> (k, float_of_int v)) base.T.p_counters)
       (List.map (fun (k, v) -> (k, float_of_int v)) cur.T.p_counters)
   in
-  spans @ counters
+  let dists =
+    pair ~kind:Dist
+      ~verdict:(dist_verdict tol.dist_rtol)
+      (List.map (fun (k, d) -> (k, T.mean d)) base.T.p_dists)
+      (List.map (fun (k, d) -> (k, T.mean d)) cur.T.p_dists)
+  in
+  spans @ counters @ dists
 
 let manifest_scalars (m : C.manifest) =
   List.concat_map
@@ -163,6 +189,7 @@ let pp ppf r =
   in
   section Span "spans";
   section Counter "counters";
+  section Dist "dists (means)";
   section Scalar "scalars";
   let count v =
     List.length (List.filter (fun i -> i.i_verdict = v) r.items)
@@ -182,6 +209,7 @@ let to_json r =
             ("wall_rtol", C.Num r.tol.wall_rtol);
             ("counter_rtol", C.Num r.tol.counter_rtol);
             ("scalar_rtol", C.Num r.tol.scalar_rtol);
+            ("dist_rtol", C.Num r.tol.dist_rtol);
             ("min_wall_s", C.Num r.tol.min_wall_s);
           ] );
       ( "items",

@@ -15,6 +15,10 @@ type tolerances = {
   wall_rtol : float;  (** allowed relative slowdown per span (default 0.5) *)
   counter_rtol : float;  (** allowed relative counter drift (default 0.1) *)
   scalar_rtol : float;  (** allowed relative scalar drift (default 0.05) *)
+  dist_rtol : float;
+      (** allowed relative drop of a distribution mean (default 0.5);
+          distributions are throughput-like, so only lower-than-tolerance
+          regresses *)
   min_wall_s : float;
       (** spans faster than this in both runs never regress (default 0.05) *)
 }
@@ -28,7 +32,7 @@ type verdict =
   | Missing  (** in the baseline only (informational) *)
   | Added  (** in the current run only (informational) *)
 
-type kind = Span | Counter | Scalar
+type kind = Span | Counter | Scalar | Dist
 
 type item = {
   i_kind : kind;
@@ -45,8 +49,10 @@ val kind_name : kind -> string
 
 val compare_profiles :
   ?tol:tolerances -> base:Telemetry.profile -> Telemetry.profile -> item list
-(** [compare_profiles ~base cur]: span wall-clock items (seconds) then
-    counter items, each name sorted. *)
+(** [compare_profiles ~base cur]: span wall-clock items (seconds), then
+    counter items, then distribution means ([sim.patterns_per_s],
+    [sim.parallel_speedup], ...), each name sorted. Distribution drift is
+    one-sided: only a mean dropping more than [dist_rtol] regresses. *)
 
 val compare_manifests :
   ?tol:tolerances -> base:Checkpoint.manifest -> Checkpoint.manifest -> item list

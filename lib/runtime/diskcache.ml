@@ -1,0 +1,112 @@
+let default_dir = "_cache"
+let cache_dir = ref default_dir
+let set_dir d = cache_dir := d
+let dir () = !cache_dir
+
+let on = ref true
+let enabled () = !on
+let set_enabled b = on := b
+
+let magic = "cntpower-cache v1"
+
+let digest parts =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let check_name name =
+  if
+    name = ""
+    || String.exists (fun c -> c = '/' || c = '\\' || c = '\000') name
+  then invalid_arg "Diskcache.path: name must be a single path component"
+
+let path ~name ~digest =
+  check_name name;
+  Filename.concat !cache_dir (Printf.sprintf "%s-%s.bin" name digest)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let journal kind ~name ~digest ~file extra =
+  if Journal.enabled () then
+    Journal.emit kind
+      (("cache", name) :: ("digest", digest) :: ("path", file) :: extra)
+
+let load ~name ~digest =
+  if not !on then None
+  else
+    let file = path ~name ~digest in
+    let header = Printf.sprintf "%s %s %s" magic name digest in
+    let result =
+      match open_in_bin file with
+      | exception Sys_error _ -> None
+      | ic -> (
+          match
+            let line = input_line ic in
+            if line <> header then None else Some (Marshal.from_channel ic)
+          with
+          | v ->
+              close_in_noerr ic;
+              v
+          | exception _ ->
+              close_in_noerr ic;
+              None)
+    in
+    (match result with
+    | Some _ ->
+        Telemetry.count (Printf.sprintf "cache.%s.hits" name) 1;
+        journal Journal.Cache_hit ~name ~digest ~file []
+    | None ->
+        Telemetry.count (Printf.sprintf "cache.%s.misses" name) 1;
+        journal Journal.Cache_miss ~name ~digest ~file []);
+    result
+
+let store ~name ~digest v =
+  if !on then begin
+    let file = path ~name ~digest in
+    match
+      mkdir_p (Filename.dirname file);
+      let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
+      let oc = open_out_bin tmp in
+      Printf.fprintf oc "%s %s %s\n" magic name digest;
+      Marshal.to_channel oc v [];
+      close_out oc;
+      Sys.rename tmp file
+    with
+    | () ->
+        Telemetry.count (Printf.sprintf "cache.%s.writes" name) 1;
+        journal Journal.Cache_write ~name ~digest ~file []
+    | exception e ->
+        let err =
+          match e with
+          | Sys_error m -> m
+          | Unix.Unix_error (err, _, _) -> Unix.error_message err
+          | e -> Printexc.to_string e
+        in
+        if Journal.enabled () then
+          Journal.emit ~level:Journal.Warn Journal.Cache_write
+            [
+              ("cache", name);
+              ("digest", digest);
+              ("path", file);
+              ("error", err);
+            ]
+  end
+
+let with_cache ~name ~digest f =
+  if not !on then f ()
+  else
+    match load ~name ~digest with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        store ~name ~digest v;
+        v

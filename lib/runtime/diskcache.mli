@@ -1,0 +1,63 @@
+(** Persistent digest-keyed artifact cache under [_cache/].
+
+    Expensive pure computations (the matchlib pattern index, leakage DC
+    characterizations) marshal their results to
+    [_cache/<name>-<digest>.bin] and reload them on the next run. The
+    caller owns the digest: {!digest} hashes every input that can change
+    the artifact — source text, parameters, a format-version string, the
+    compiler version (Marshal is not stable across compilers). A changed
+    input therefore changes the file name; stale artifacts are never
+    reused, merely orphaned.
+
+    Files carry a one-line text header ([cntpower-cache v1 <name>
+    <digest>]) checked before unmarshalling; a truncated, corrupt or
+    foreign file degrades to a miss and a rebuild, never an error.
+    Writes go through a PID-suffixed temp file and [rename], so
+    concurrent processes racing on the same key each publish a complete
+    artifact and the last rename wins.
+
+    Every lookup records [cache.<name>.hits] / [.misses] / [.writes]
+    {!Telemetry} counters and emits {!Journal.Cache_hit} /
+    [Cache_miss] / [Cache_write] events, so a profile shows exactly
+    which artifacts were served from disk.
+
+    The cache is on by default; [--no-cache] calls [set_enabled false],
+    turning {!with_cache} into a plain call (no reads, no writes, no
+    counters). *)
+
+val default_dir : string
+(** ["_cache"], relative to the working directory. *)
+
+val set_dir : string -> unit
+(** Redirect the cache root (tests point it at a temp directory). *)
+
+val dir : unit -> string
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** [false] = bypass entirely: {!load} always misses (without counting),
+    {!store} does nothing. *)
+
+val digest : string list -> string
+(** Hex digest of the given parts, length-framed so part boundaries
+    matter ([["ab"; "c"] <> ["a"; "bc"]]). *)
+
+val path : name:string -> digest:string -> string
+(** [<dir>/<name>-<digest>.bin]. [name] must be a single path component
+    ([Invalid_argument] otherwise). *)
+
+val load : name:string -> digest:string -> 'a option
+(** Serve an artifact if a well-formed file for exactly this
+    [name]/[digest] exists. The ['a] is trusted — pairing a digest with
+    the wrong type is a caller bug, which the format-version digest part
+    exists to prevent. *)
+
+val store : name:string -> digest:string -> 'a -> unit
+(** Atomically publish an artifact. Failures (read-only FS, disk full)
+    are swallowed after a [Warn] journal event — the cache is an
+    optimization, never a correctness dependency. *)
+
+val with_cache : name:string -> digest:string -> (unit -> 'a) -> 'a
+(** [load], or compute-and-[store] on a miss. Equal to just calling the
+    thunk when disabled. *)

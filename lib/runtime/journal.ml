@@ -16,6 +16,9 @@ type kind =
   | Checkpoint_written
   | Solver_damped_retry
   | Golden_drift
+  | Cache_hit
+  | Cache_miss
+  | Cache_write
   | Custom of string
 
 type event = {
@@ -50,6 +53,9 @@ let kind_name = function
   | Checkpoint_written -> "checkpoint_written"
   | Solver_damped_retry -> "solver_damped_retry"
   | Golden_drift -> "golden_drift"
+  | Cache_hit -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Cache_write -> "cache_write"
   | Custom s -> s
 
 let kind_of_name = function
@@ -65,6 +71,9 @@ let kind_of_name = function
   | "checkpoint_written" -> Checkpoint_written
   | "solver_damped_retry" -> Solver_damped_retry
   | "golden_drift" -> Golden_drift
+  | "cache_hit" -> Cache_hit
+  | "cache_miss" -> Cache_miss
+  | "cache_write" -> Cache_write
   | other -> Custom other
 
 (* ------------------------------------------------------------------ *)

@@ -37,6 +37,9 @@ type kind =
   | Checkpoint_written
   | Solver_damped_retry
   | Golden_drift
+  | Cache_hit  (** a persistent on-disk cache served an artifact *)
+  | Cache_miss  (** artifact absent or stale; recomputed *)
+  | Cache_write  (** artifact (re)written to [_cache/] *)
   | Custom of string
       (** forward compatibility: unknown names parse as [Custom] rather
           than failing the whole journal *)

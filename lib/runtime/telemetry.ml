@@ -55,20 +55,45 @@ type dstate = {
 let fresh_node name =
   { n_name = name; n_calls = 0; n_total = 0.0; n_children = Hashtbl.create 8 }
 
+(* The whole mutable state lives in a per-domain registry: the main domain
+   owns the process-wide registry (exactly the old global behavior), and
+   every domain spawned by {!Dpool} gets a fresh one on first use, so
+   parallel simulation kernels never race on the hashtables or lose
+   counter increments. A worker domain snapshots its registry before
+   joining and the pool merges it into the spawner's — the same
+   snapshot/merge path already used for forked supervisor workers. *)
+type registry = {
+  mutable g_root : node;
+  mutable g_stack : node list;
+  g_counters : (string, int ref) Hashtbl.t;
+  g_dists : (string, dstate) Hashtbl.t;
+}
+
+let fresh_registry () =
+  {
+    g_root = fresh_node "";
+    g_stack = [];
+    g_counters = Hashtbl.create 32;
+    g_dists = Hashtbl.create 16;
+  }
+
+let registry_key = Domain.DLS.new_key fresh_registry
+let registry () = Domain.DLS.get registry_key
+
+(* The enabled flag is shared across domains; it is only flipped outside
+   parallel sections (CLI setup, bench harness), and Domain.spawn/join
+   establish the needed happens-before edges for workers to observe it. *)
 let on = ref false
-let root = ref (fresh_node "")
-let stack = ref []
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
-let dists : (string, dstate) Hashtbl.t = Hashtbl.create 16
 
 let enabled () = !on
 let set_enabled b = on := b
 
 let reset () =
-  root := fresh_node "";
-  stack := [];
-  Hashtbl.reset counters;
-  Hashtbl.reset dists
+  let r = registry () in
+  r.g_root <- fresh_node "";
+  r.g_stack <- [];
+  Hashtbl.reset r.g_counters;
+  Hashtbl.reset r.g_dists
 
 let now () = Unix.gettimeofday ()
 
@@ -83,20 +108,22 @@ let child_of parent name =
 let with_span name f =
   if not !on then f ()
   else begin
-    let parent = match !stack with n :: _ -> n | [] -> !root in
+    let r = registry () in
+    let parent = match r.g_stack with n :: _ -> n | [] -> r.g_root in
     let node = child_of parent name in
     let t0 = Unix.gettimeofday () in
-    stack := node :: !stack;
+    r.g_stack <- node :: r.g_stack;
     Fun.protect
       ~finally:(fun () ->
         node.n_calls <- node.n_calls + 1;
         node.n_total <- node.n_total +. (Unix.gettimeofday () -. t0);
-        match !stack with _ :: rest -> stack := rest | [] -> ())
+        match r.g_stack with _ :: rest -> r.g_stack <- rest | [] -> ())
       f
   end
 
 let count name n =
   if !on then
+    let counters = (registry ()).g_counters in
     match Hashtbl.find_opt counters name with
     | Some r -> r := !r + n
     | None -> Hashtbl.replace counters name (ref n)
@@ -137,6 +164,7 @@ let dstate_add d v =
   end
 
 let find_dstate name =
+  let dists = (registry ()).g_dists in
   match Hashtbl.find_opt dists name with
   | Some d -> d
   | None ->
@@ -170,10 +198,11 @@ let sorted_assoc tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
+  let r = registry () in
   {
-    p_spans = (span_of_node !root).children;
-    p_counters = sorted_assoc counters (fun r -> !r);
-    p_dists = sorted_assoc dists dist_of_dstate;
+    p_spans = (span_of_node r.g_root).children;
+    p_counters = sorted_assoc r.g_counters (fun c -> !c);
+    p_dists = sorted_assoc r.g_dists dist_of_dstate;
   }
 
 let rec merge_span parent s =
@@ -198,15 +227,16 @@ let merge_dist name (d : dist) =
     d.d_samples
 
 let merge ?(prefix = []) p =
+  let reg = registry () in
   let anchor =
-    List.fold_left (fun parent name -> child_of parent name) !root prefix
+    List.fold_left (fun parent name -> child_of parent name) reg.g_root prefix
   in
   List.iter (merge_span anchor) p.p_spans;
   List.iter
     (fun (name, n) ->
-      match Hashtbl.find_opt counters name with
+      match Hashtbl.find_opt reg.g_counters name with
       | Some r -> r := !r + n
-      | None -> Hashtbl.replace counters name (ref n))
+      | None -> Hashtbl.replace reg.g_counters name (ref n))
     p.p_counters;
   List.iter (fun (name, d) -> merge_dist name d) p.p_dists
 

@@ -25,7 +25,19 @@
     exit, marshal the profile back over the result pipe and have the
     parent {!merge} it under a span named for the experiment. Profiles
     serialize to the same dependency-free JSON as {!Checkpoint}
-    ([_runs/<name>/profile.json]). *)
+    ([_runs/<name>/profile.json]).
+
+    {b Domain safety.} Registries are per-domain ([Domain.DLS]): the
+    calling (main) domain owns the process-wide registry, and every
+    domain spawned by {!Runtime.Dpool} records into a private fresh one,
+    so parallel simulation kernels never race on the tables or lose
+    counter increments. The pool snapshots each worker registry inside
+    the worker and {!merge}s it into the spawner's after [join] — the
+    same path used for forked supervisor workers. A domain spawned
+    outside {!Runtime.Dpool} gets its own registry too, but nothing
+    merges it back; route parallel work through the pool if its
+    telemetry matters. The disabled mode is still one branch on a flag,
+    with no allocation and no DLS access. *)
 
 type span = {
   span_name : string;

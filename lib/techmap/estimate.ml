@@ -57,29 +57,56 @@ let static_components (m : Mapped.t) ~probs =
     m.Mapped.cells;
   (!static, !gate_leak)
 
-let run ?(patterns = default_patterns) ?(seed = 42L) ?(wire_cap_per_fanout = 0.0)
-    (m : Mapped.t) =
+(* Calibration size for the observed parallel speedup: big enough that
+   per-word cost dominates, small next to the 640 K-pattern sweep. *)
+let calibration_patterns = 65_536
+
+let run ?domains ?(patterns = default_patterns) ?(seed = 42L)
+    ?(wire_cap_per_fanout = 0.0) (m : Mapped.t) =
   T.with_span "techmap.estimate" (fun () ->
   let tech = m.Mapped.lib.G.tech in
   let vdd = tech.Spice.Tech.vdd in
   let f = Spice.Tech.frequency in
-  let rng = Logic.Prng.create seed in
   let stimulus =
-    Array.init
-      (Array.length m.Mapped.pi_nets)
-      (fun _ ->
-        let v = B.create patterns in
-        B.fill_random rng v;
-        v)
+    Nets.Sim.random_stimulus ?domains ~seed
+      ~inputs:(Array.length m.Mapped.pi_nets) ~patterns ()
   in
   let t0 = if T.enabled () then T.now () else 0.0 in
-  let values = T.with_span "estimate.simulate" (fun () -> Mapped.simulate m stimulus) in
+  let values =
+    T.with_span "estimate.simulate" (fun () ->
+        Mapped.simulate ?domains m stimulus)
+  in
   if T.enabled () then begin
     let dt = T.now () -. t0 in
     T.count "estimate.patterns_simulated" patterns;
     T.count "estimate.cells_simulated" (Array.length m.Mapped.cells);
     if dt > 0.0 then
-      T.observe "estimate.patterns_per_s" (float_of_int patterns /. dt)
+      T.observe "estimate.patterns_per_s" (float_of_int patterns /. dt);
+    (* Observed speedup vs. a single domain, from a short sequential
+       calibration run on a fresh stimulus slice. Telemetry is switched
+       off around it so the calibration inflates no counters. *)
+    let requested =
+      match domains with
+      | Some d -> d
+      | None -> Runtime.Dpool.default_domains ()
+    in
+    if requested > 1 && dt > 0.0 && patterns >= calibration_patterns then begin
+      let cal = min patterns calibration_patterns in
+      let cal_stim =
+        Nets.Sim.random_stimulus ~domains:1 ~seed
+          ~inputs:(Array.length m.Mapped.pi_nets) ~patterns:cal ()
+      in
+      T.set_enabled false;
+      let c0 = T.now () in
+      ignore (Mapped.simulate ~domains:1 m cal_stim);
+      let cdt = T.now () -. c0 in
+      T.set_enabled true;
+      if cdt > 0.0 then begin
+        let rate_seq = float_of_int cal /. cdt in
+        let rate_par = float_of_int patterns /. dt in
+        T.observe "sim.parallel_speedup" (rate_par /. rate_seq)
+      end
+    end
   end;
   let toggle net =
     if patterns <= 1 then 0.0

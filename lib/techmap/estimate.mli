@@ -23,9 +23,18 @@ val default_patterns : int
 (** 640_000, as in the paper. *)
 
 val run :
-  ?patterns:int -> ?seed:int64 -> ?wire_cap_per_fanout:float -> Mapped.t -> report
+  ?domains:int ->
+  ?patterns:int ->
+  ?seed:int64 ->
+  ?wire_cap_per_fanout:float ->
+  Mapped.t ->
+  report
 (** [wire_cap_per_fanout] adds lumped interconnect capacitance per driven
-    pin (default 0, the paper's assumption). *)
+    pin (default 0, the paper's assumption). The Monte-Carlo sweep shards
+    across [?domains] (default {!Runtime.Dpool.default_domains});
+    reported figures are bit-identical for any domain count. With
+    telemetry enabled and more than one domain, a short sequential
+    calibration run feeds the [sim.parallel_speedup] distribution. *)
 
 val static_components : Mapped.t -> probs:(int -> float) -> float * float
 (** [(static, gate_leak)] powers in W of every cell, weighting each cell's

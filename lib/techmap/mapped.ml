@@ -55,7 +55,7 @@ let gate_histogram t =
   Hashtbl.fold (fun name count acc -> (name, count) :: acc) counts []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-let simulate t stimulus =
+let simulate ?domains t stimulus =
   assert (Array.length stimulus = Array.length t.pi_nets);
   let npat = if Array.length stimulus = 0 then 0 else B.length stimulus.(0) in
   let values = Array.make t.num_nets (B.create npat) in
@@ -63,10 +63,13 @@ let simulate t stimulus =
   Array.iter
     (fun (net, b) -> if b then values.(net) <- B.lognot (B.create npat))
     t.const_nets;
-  (* Covers are cached per gate name; evaluation runs as raw word loops to
-     keep 640 K-pattern simulation cheap. *)
+  (* Preallocate every cell output, then lower the topo-ordered cells to
+     (cover, fanin words, output words) triples so the kernel below is
+     raw word loops — covers cached per gate name. The word axis shards
+     across domains: word-level ops are word-local, so any domain count
+     produces bit-identical values. *)
+  Array.iter (fun c -> values.(c.output) <- B.create npat) t.cells;
   let cover_cache = Hashtbl.create 32 in
-  let cube_words = ref 0 in
   let cover_of gate =
     let name = gate.G.cell.Cell.Cells.name in
     match Hashtbl.find_opt cover_cache name with
@@ -76,50 +79,61 @@ let simulate t stimulus =
         Hashtbl.replace cover_cache name cubes;
         cubes
   in
-  Array.iter
-    (fun c ->
-      let cubes = cover_of c.gate in
-      let out = B.create npat in
-      let out_words = B.words out in
-      let nwords = Array.length out_words in
-      cube_words := !cube_words + (Array.length cubes * nwords);
-      let pins = Array.length c.inputs in
-      let pin_words = Array.map (fun net -> B.words values.(net)) c.inputs in
-      for ci = 0 to Array.length cubes - 1 do
-        let cube = cubes.(ci) in
-        for w = 0 to nwords - 1 do
-          let prod = ref (-1L) in
-          for pin = 0 to pins - 1 do
-            if (cube.T.pos lsr pin) land 1 = 1 then
-              prod := Int64.logand !prod pin_words.(pin).(w)
-            else if (cube.T.neg lsr pin) land 1 = 1 then
-              prod := Int64.logand !prod (Int64.lognot pin_words.(pin).(w))
-          done;
-          out_words.(w) <- Int64.logor out_words.(w) !prod
-        done
-      done;
-      (* Mask the tail beyond npat (inputs are clean, but all-neg cubes and
-         the constant -1 product can set tail bits). *)
-      (if npat land 63 <> 0 && nwords > 0 then
-         let mask = Int64.sub (Int64.shift_left 1L (npat land 63)) 1L in
-         out_words.(nwords - 1) <- Int64.logand out_words.(nwords - 1) mask);
-      values.(c.output) <- out)
-    t.cells;
-  Runtime.Telemetry.count "mapped.sim.cube_words" !cube_words;
+  let kernels =
+    Array.map
+      (fun c ->
+        ( cover_of c.gate,
+          Array.map (fun net -> B.words values.(net)) c.inputs,
+          B.words values.(c.output) ))
+      t.cells
+  in
+  let nwords = max 1 ((npat + 63) / 64) in
+  let cubes_per_word =
+    Array.fold_left (fun acc (cubes, _, _) -> acc + Array.length cubes) 0 kernels
+  in
+  let stats =
+    Runtime.Dpool.run ?domains ~units:nwords (fun ~worker ~lo ~len ->
+        let hi = lo + len - 1 in
+        Array.iter
+          (fun (cubes, pin_words, out_words) ->
+            let ncubes = Array.length cubes and pins = Array.length pin_words in
+            for w = lo to hi do
+              let acc = ref 0L in
+              for ci = 0 to ncubes - 1 do
+                let cube = cubes.(ci) in
+                let prod = ref (-1L) in
+                for pin = 0 to pins - 1 do
+                  if (cube.T.pos lsr pin) land 1 = 1 then
+                    prod := Int64.logand !prod pin_words.(pin).(w)
+                  else if (cube.T.neg lsr pin) land 1 = 1 then
+                    prod := Int64.logand !prod (Int64.lognot pin_words.(pin).(w))
+                done;
+                acc := Int64.logor !acc !prod
+              done;
+              out_words.(w) <- !acc
+            done)
+          kernels;
+        if Runtime.Telemetry.enabled () then begin
+          Runtime.Telemetry.count "mapped.sim.cube_words" (cubes_per_word * len);
+          Runtime.Telemetry.count
+            (Printf.sprintf "sim.d%d.patterns_simulated" worker)
+            (max 0 (min ((lo + len) * 64) npat - (lo * 64)))
+        end)
+  in
+  (* Clamp tails beyond npat (inputs are clean, but all-neg cubes and the
+     constant -1 product can set tail bits). *)
+  Array.iter (fun c -> B.clamp values.(c.output)) t.cells;
   Runtime.Telemetry.count "mapped.sim.cells" (Array.length t.cells);
+  Runtime.Telemetry.observe "sim.domains"
+    (float_of_int stats.Runtime.Dpool.domains_used);
   values
 
-let check t reference ~patterns ~seed =
+let check ?domains t reference ~patterns ~seed =
   let module N = Nets.Netlist in
   let module Sim = Nets.Sim in
-  let rng = Logic.Prng.create seed in
   let stimulus =
-    Array.init
-      (Array.length t.pi_nets)
-      (fun _ ->
-        let v = B.create patterns in
-        B.fill_random rng v;
-        v)
+    Sim.random_stimulus ?domains ~seed ~inputs:(Array.length t.pi_nets)
+      ~patterns ()
   in
   (* Align reference inputs by name. *)
   let ref_inputs = N.inputs reference in
@@ -145,9 +159,9 @@ let check t reference ~patterns ~seed =
       ref_inputs
   in
   ignore by_name;
-  let ref_result = Sim.run reference ref_stimulus in
+  let ref_result = Sim.run ?domains reference ref_stimulus in
   let ref_outs = Sim.output_values reference ref_result in
-  let values = simulate t stimulus in
+  let values = simulate ?domains t stimulus in
   Array.for_all
     (fun (name, net) ->
       let ref_v =

@@ -40,11 +40,16 @@ val net_loads : ?wire_cap_per_fanout:float -> t -> float array
 val gate_histogram : t -> (string * int) list
 (** Cell usage count by gate name, descending. *)
 
-val simulate : t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
-(** Per-net values given one stimulus vector per primary input. *)
+val simulate : ?domains:int -> t -> Logic.Bitvec.t array -> Logic.Bitvec.t array
+(** Per-net values given one stimulus vector per primary input. The
+    pattern axis shards across domains ({!Runtime.Dpool}, word-aligned
+    chunks); results are bit-identical for any [?domains] (default
+    {!Runtime.Dpool.default_domains}). *)
 
-val check : t -> Nets.Netlist.t -> patterns:int -> seed:int64 -> bool
+val check :
+  ?domains:int -> t -> Nets.Netlist.t -> patterns:int -> seed:int64 -> bool
 (** Random co-simulation of the mapped netlist against a reference netlist
-    with matching PI/PO names: true when all sampled outputs agree. *)
+    with matching PI/PO names: true when all sampled outputs agree. The
+    verdict is deterministic in [seed] for any [?domains]. *)
 
 val pp_stats : Format.formatter -> t -> unit

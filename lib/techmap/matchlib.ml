@@ -62,8 +62,24 @@ let insert t k key cand =
     Hashtbl.replace table key kept
   end
 
-let build lib =
-  Runtime.Telemetry.with_span "techmap.matchlib.build" @@ fun () ->
+(* Bump when [t]'s layout (or the meaning of its contents) changes: the
+   version participates in the digest, so stale artifacts simply miss. *)
+let format_version = 1
+
+let digest_of lib =
+  Runtime.Diskcache.digest
+    [
+      "matchlib";
+      string_of_int format_version;
+      Sys.ocaml_version;
+      string_of_int max_pins;
+      (* The full marshalled library, not just its genlib text: derived
+         libraries ([G.with_tech]) change device parameters without
+         changing any gate function. *)
+      Marshal.to_string lib [];
+    ]
+
+let compute lib =
   let t =
     {
       lib;
@@ -98,6 +114,13 @@ let build lib =
       end)
     lib.G.gates;
   t
+
+let build ?(cache = true) lib =
+  Runtime.Telemetry.with_span "techmap.matchlib.build" @@ fun () ->
+  if cache then
+    Runtime.Diskcache.with_cache ~name:"matchlib" ~digest:(digest_of lib)
+      (fun () -> compute lib)
+  else compute lib
 
 let lookup t tt =
   let k = T.nvars tt in

@@ -18,9 +18,22 @@ type t
 val max_pins : int
 (** 6: the largest supported cut/gate size. *)
 
-val build : Cell.Genlib.t -> t
+val build : ?cache:bool -> Cell.Genlib.t -> t
 (** Precompute the match tables for a library. The library must contain an
-    inverter (cell "INV"). *)
+    inverter (cell "INV").
+
+    By default the result is served from / published to the persistent
+    {!Runtime.Diskcache} ([_cache/matchlib-<digest>.bin]): building the
+    shipped libraries costs ~0.8 s, loading the artifact is milliseconds.
+    The digest covers the fully marshalled library (so a [with_tech]
+    derivative never aliases its parent), {!max_pins}, a format version
+    and the compiler version; any mismatch — including a truncated or
+    corrupt file — falls back to a rebuild. [~cache:false] ([--no-cache])
+    always rebuilds and writes nothing. *)
+
+val digest_of : Cell.Genlib.t -> string
+(** The cache digest {!build} keys this library under (exposed for cache
+    tooling and tests). *)
 
 val library : t -> Cell.Genlib.t
 val inverter : t -> Cell.Genlib.gate

@@ -1,0 +1,241 @@
+(* Persistent digest-keyed cache: Diskcache hit/miss/stale/corrupt
+   behavior, matchlib artifact persistence, and the opt-in leakage-table
+   persistence. Everything runs against a throwaway cache directory so
+   the repo's _cache/ is never touched. *)
+
+module DC = Runtime.Diskcache
+
+let tc = Alcotest.test_case
+
+(* One fresh directory per process; set_dir points the whole suite at it. *)
+let temp_dir =
+  lazy
+    (let d =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "cntpower-cache-test-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     d)
+
+let in_temp_cache f =
+  let saved_dir = DC.dir () in
+  let saved_enabled = DC.enabled () in
+  DC.set_dir (Lazy.force temp_dir);
+  DC.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      DC.set_dir saved_dir;
+      DC.set_enabled saved_enabled)
+    f
+
+(* --- digest ---------------------------------------------------------- *)
+
+let digest_is_length_framed () =
+  Alcotest.(check bool)
+    "part boundaries matter" false
+    (DC.digest [ "ab"; "c" ] = DC.digest [ "a"; "bc" ]);
+  Alcotest.(check string) "deterministic"
+    (DC.digest [ "x"; "y" ])
+    (DC.digest [ "x"; "y" ])
+
+let path_rejects_separators () =
+  Alcotest.(check bool) "slash rejected" true
+    (try
+       ignore (DC.path ~name:"../evil" ~digest:"00");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- load/store ------------------------------------------------------ *)
+
+let roundtrip () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "roundtrip"; "v1" ] in
+  DC.store ~name:"testart" ~digest [ 1; 2; 3 ];
+  Alcotest.(check (option (list int)))
+    "served back" (Some [ 1; 2; 3 ])
+    (DC.load ~name:"testart" ~digest)
+
+let unknown_digest_misses () =
+  in_temp_cache @@ fun () ->
+  Alcotest.(check (option (list int)))
+    "no artifact" None
+    (DC.load ~name:"testart" ~digest:(DC.digest [ "never-stored" ]))
+
+let stale_digest_misses () =
+  in_temp_cache @@ fun () ->
+  (* A changed input changes the digest, hence the file name: the old
+     artifact is simply not found. *)
+  let old_digest = DC.digest [ "stale"; "input-v1" ] in
+  let new_digest = DC.digest [ "stale"; "input-v2" ] in
+  DC.store ~name:"stale" ~digest:old_digest 42;
+  Alcotest.(check (option int))
+    "new digest misses" None
+    (DC.load ~name:"stale" ~digest:new_digest);
+  Alcotest.(check (option int))
+    "old digest still hits" (Some 42)
+    (DC.load ~name:"stale" ~digest:old_digest)
+
+let corrupt_file_misses () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "corrupt" ] in
+  let path = DC.path ~name:"corrupt" ~digest in
+  (* Garbage where the header should be. *)
+  let oc = open_out_bin path in
+  output_string oc "not a cache artifact at all";
+  close_out oc;
+  Alcotest.(check (option int)) "garbage = miss" None (DC.load ~name:"corrupt" ~digest);
+  (* Correct header, truncated payload: Marshal fails, still a miss. *)
+  DC.store ~name:"corrupt" ~digest (Array.make 1000 3.14);
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  Alcotest.(check bool) "truncated = miss" true
+    (DC.load ~name:"corrupt" ~digest = (None : float array option))
+
+let wrong_name_header_misses () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "renamed" ] in
+  DC.store ~name:"original" ~digest 7;
+  (* Copy the artifact under a different name: the embedded header no
+     longer matches the requested name, so it must not be served. *)
+  let src = DC.path ~name:"original" ~digest in
+  let dst = DC.path ~name:"renamed" ~digest in
+  let data = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> output_string oc data);
+  Alcotest.(check (option int)) "foreign header = miss" None
+    (DC.load ~name:"renamed" ~digest)
+
+let disabled_bypasses () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "disabled" ] in
+  DC.store ~name:"disabled" ~digest 1;
+  DC.set_enabled false;
+  Alcotest.(check (option int)) "load bypassed" None (DC.load ~name:"disabled" ~digest);
+  let computes = ref 0 in
+  let thunk () = incr computes; 99 in
+  Alcotest.(check int) "with_cache is a plain call" 99
+    (DC.with_cache ~name:"disabled2" ~digest thunk);
+  Alcotest.(check int) "recomputes every time" 99
+    (DC.with_cache ~name:"disabled2" ~digest thunk);
+  Alcotest.(check int) "two computes" 2 !computes;
+  Alcotest.(check bool) "nothing written" false
+    (Sys.file_exists (DC.path ~name:"disabled2" ~digest));
+  DC.set_enabled true
+
+let with_cache_computes_once () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "once" ] in
+  let computes = ref 0 in
+  let thunk () = incr computes; "value" in
+  Alcotest.(check string) "miss computes" "value"
+    (DC.with_cache ~name:"once" ~digest thunk);
+  Alcotest.(check string) "hit loads" "value"
+    (DC.with_cache ~name:"once" ~digest thunk);
+  Alcotest.(check int) "one compute" 1 !computes
+
+(* --- matchlib -------------------------------------------------------- *)
+
+let matchlib_digest_sensitivity () =
+  let gen = Techmap.Matchlib.digest_of Cell.Genlib.generalized_cntfet in
+  Alcotest.(check bool) "different library, different digest" false
+    (gen = Techmap.Matchlib.digest_of Cell.Genlib.conventional_cntfet);
+  (* with_tech keeps the genlib text but changes the corner — the digest
+     must still move, which is why it hashes the marshalled library. *)
+  let retech =
+    Cell.Genlib.with_tech Cell.Genlib.generalized_cntfet Spice.Tech.cmos
+  in
+  Alcotest.(check bool) "different corner, different digest" false
+    (gen = Techmap.Matchlib.digest_of retech)
+
+let matchlib_build_persists () =
+  in_temp_cache @@ fun () ->
+  let lib = Cell.Genlib.conventional_cntfet in
+  let digest = Techmap.Matchlib.digest_of lib in
+  let artifact = DC.path ~name:"matchlib" ~digest in
+  (* cache:false must never touch the disk. *)
+  let uncached = Techmap.Matchlib.build ~cache:false lib in
+  Alcotest.(check bool) "no artifact from cache:false" false
+    (Sys.file_exists artifact);
+  ignore (Techmap.Matchlib.build lib);
+  Alcotest.(check bool) "artifact published" true (Sys.file_exists artifact);
+  (* The warm load must index the same library. *)
+  let warm = Techmap.Matchlib.build lib in
+  Alcotest.(check int) "same index size"
+    (Techmap.Matchlib.size uncached)
+    (Techmap.Matchlib.size warm)
+
+(* --- leakage persistence --------------------------------------------- *)
+
+let leakage_persistence_roundtrip () =
+  in_temp_cache @@ fun () ->
+  let module L = Power.Leakage in
+  let was = L.persistent () in
+  Fun.protect
+    ~finally:(fun () ->
+      L.set_persistent was;
+      L.clear_cache ())
+    (fun () ->
+      L.set_persistent true;
+      L.clear_cache ();
+      let p = Power.Pattern.Series [ Power.Pattern.Unit 2; Power.Pattern.Unit 1 ] in
+      let cold = L.pattern_ioff Spice.Tech.cntfet p in
+      let solves = (L.cache_stats ()).L.misses in
+      Alcotest.(check bool) "cold run solved" true (solves > 0);
+      L.flush ();
+      (* A fresh table must reload the artifact: same value, zero solves. *)
+      L.clear_cache ();
+      let warm = L.pattern_ioff Spice.Tech.cntfet p in
+      Alcotest.(check (float 0.0)) "identical current" cold warm;
+      Alcotest.(check int) "no DC solve on warm path" 0
+        (L.cache_stats ()).L.misses)
+
+let leakage_off_by_default_stays_cold () =
+  in_temp_cache @@ fun () ->
+  let module L = Power.Leakage in
+  let was = L.persistent () in
+  Fun.protect
+    ~finally:(fun () ->
+      L.set_persistent was;
+      L.clear_cache ())
+    (fun () ->
+      (* Publish an artifact, then turn persistence off: the solver must
+         not consult it (exp_patterns' golden dc_solves depends on this). *)
+      L.set_persistent true;
+      L.clear_cache ();
+      let p = Power.Pattern.Unit 3 in
+      ignore (L.pattern_ioff Spice.Tech.cntfet p);
+      L.flush ();
+      L.set_persistent false;
+      L.clear_cache ();
+      ignore (L.pattern_ioff Spice.Tech.cntfet p);
+      Alcotest.(check int) "solved again, not loaded" 1
+        (L.cache_stats ()).L.misses)
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "diskcache",
+        [
+          tc "digest is length-framed" `Quick digest_is_length_framed;
+          tc "path rejects separators" `Quick path_rejects_separators;
+          tc "store/load roundtrip" `Quick roundtrip;
+          tc "unknown digest misses" `Quick unknown_digest_misses;
+          tc "stale digest misses" `Quick stale_digest_misses;
+          tc "corrupt/truncated file misses" `Quick corrupt_file_misses;
+          tc "wrong-name header misses" `Quick wrong_name_header_misses;
+          tc "disabled bypasses reads and writes" `Quick disabled_bypasses;
+          tc "with_cache computes once" `Quick with_cache_computes_once;
+        ] );
+      ( "matchlib",
+        [
+          tc "digest sensitivity" `Quick matchlib_digest_sensitivity;
+          tc "build persists and reloads" `Slow matchlib_build_persists;
+        ] );
+      ( "leakage",
+        [
+          tc "persistence roundtrip" `Quick leakage_persistence_roundtrip;
+          tc "off by default stays cold" `Quick leakage_off_by_default_stays_cold;
+        ] );
+    ]
