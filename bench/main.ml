@@ -212,6 +212,123 @@ let run_profile () =
   T.pp std prof
 
 (* ------------------------------------------------------------------ *)
+(* serve round-trip: warm-cache request latency against a live daemon  *)
+
+let serve_blif =
+  ".model benchround\n\
+   .inputs a b c d\n\
+   .outputs y z\n\
+   .names a b t\n\
+   11 1\n\
+   .names c d u\n\
+   00 1\n\
+   .names t u y\n\
+   10 1\n\
+   .names t u z\n\
+   01 1\n\
+   .end\n"
+
+let run_serve_roundtrip () =
+  let module Sv = Runtime.Server in
+  let module Ck = Runtime.Checkpoint in
+  let module T = Runtime.Telemetry in
+  let n = 50 in
+  Format.printf "@.#### serve round-trip (warm cache, %d requests) ####@." n;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cntb-%d.sock" (Unix.getpid ()))
+  in
+  flush stdout;
+  flush stderr;
+  (* The daemon is a forked child; OCaml 5 refuses to fork once any
+     domain has ever been spawned, which is why this section leads the
+     default order — every estimate section spawns pool domains. *)
+  match (try Some (Unix.fork ()) with Unix.Unix_error _ -> None) with
+  | None ->
+      Format.printf
+        "  skipped: cannot fork after parallel sections (run serve-roundtrip \
+         first)@."
+  | Some 0 ->
+      Runtime.Journal.set_verbosity None;
+      let handlers =
+        {
+          Sv.admit =
+            (fun req -> Result.bind (Ck.field req "blif") (Ck.as_str "blif"));
+          execute =
+            (fun blif ->
+              Result.map
+                (fun r ->
+                  Ck.Obj [ ("total_W", Ck.Num r.Techmap.Estimate.total) ])
+                (Techmap.Estimate.run_blif ~domains:1 ~patterns:4096
+                   ~lib:Cell.Genlib.generalized_cntfet blif));
+          describe = (fun _ -> [ ("bench", "roundtrip") ]);
+        }
+      in
+      let cfg =
+        { (Sv.default_config ~socket_path:sock) with Sv.max_workers = 2 }
+      in
+      let code =
+        match Sv.run cfg handlers with
+        | Ok Sv.Drained -> 0
+        | Ok Sv.Tripped -> 3
+        | Error _ -> 4
+      in
+      Unix._exit code
+  | Some pid ->
+      let health = Ck.Obj [ ("verb", Ck.Str "health") ] in
+      let rec wait_ready tries =
+        tries > 0
+        &&
+        match Sv.call ~socket_path:sock ~timeout_s:2.0 health with
+        | Ok _ -> true
+        | Error _ ->
+            Unix.sleepf 0.1;
+            wait_ready (tries - 1)
+      in
+      if not (wait_ready 100) then
+        Format.printf "  daemon never became ready@."
+      else begin
+        let req =
+          Ck.Obj [ ("verb", Ck.Str "estimate"); ("blif", Ck.Str serve_blif) ]
+        in
+        (* Two throwaway calls publish the matchlib/leakage artifacts so
+           the measured requests all run against a warm disk cache. *)
+        for _ = 1 to 2 do
+          ignore (Sv.call ~socket_path:sock req)
+        done;
+        let was = T.enabled () in
+        T.set_enabled true;
+        let failures = ref 0 in
+        for _ = 1 to n do
+          let t0 = Unix.gettimeofday () in
+          match Sv.call ~socket_path:sock req with
+          | Ok resp when Sv.response_error resp = None ->
+              T.observe "serve.roundtrip_s" (Unix.gettimeofday () -. t0)
+          | Ok _ | Error _ -> incr failures
+        done;
+        let prof = T.snapshot () in
+        T.set_enabled was;
+        (match T.find_dist prof "serve.roundtrip_s" with
+        | Some d ->
+            Format.printf "  requests %d  failures %d@." n !failures;
+            Format.printf "  p50 %8.3f ms   p95 %8.3f ms   mean %8.3f ms@."
+              (1e3 *. T.percentile d 0.50)
+              (1e3 *. T.percentile d 0.95)
+              (1e3 *. T.mean d)
+        | None -> Format.printf "  no samples (all %d requests failed)@." n);
+        let path = "BENCH_serve.json" in
+        match T.save ~path prof with
+        | Ok () -> Format.printf "wrote %s@." path
+        | Error e ->
+            Format.eprintf "cannot write %s: %a@." path Runtime.Cnt_error.pp e
+      end;
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> Format.printf "  daemon drained clean@."
+      | _, _ -> Format.printf "  daemon exited abnormally@.")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -241,6 +358,8 @@ let () =
   in
   let sections =
     [
+      (* must lead: forks a daemon, illegal once pool domains have run *)
+      ("serve-roundtrip", run_serve_roundtrip);
       ("libchar", run_libchar);
       ("patterns", run_patterns);
       ("tgate", run_tgate);

@@ -8,9 +8,10 @@
 
    Exit codes (documented in README.md): 0 success; 10 `all --keep-going`
    completed with failures; 11 `all --strict` aborted at the first failure;
-   12-27 a typed Cnt_error escaped a single-experiment command (one code
+   12-29 a typed Cnt_error escaped a single-experiment command (one code
    per error class, see Runtime.Cnt_error.exit_code — 25 worker timeout,
-   26 worker killed); 124/125 cmdliner errors. *)
+   26 worker killed, also `serve` after a breaker trip; 29 a request shed
+   by an overloaded `serve` daemon); 124/125 cmdliner errors. *)
 
 let std = Format.std_formatter
 
@@ -75,6 +76,20 @@ let validate_domains = function
    any domain count; --domains only moves wall clock. *)
 let apply_runtime_opts ~domains ~no_cache =
   validate_domains domains;
+  (* CNTPOWER_DOMAINS gets the same scrutiny as --domains: when the
+     environment would actually be consulted (no explicit --domains),
+     garbage is a typed usage error, not a silent fallback to
+     autodetection. *)
+  (match (domains, Runtime.Dpool.env_domains_checked ()) with
+  | None, Result.Error msg ->
+      R.failf
+        ~context:
+          [
+            ( "CNTPOWER_DOMAINS",
+              Option.value ~default:"" (Sys.getenv_opt "CNTPOWER_DOMAINS") );
+          ]
+        R.Cli R.Validation_error "%s" msg
+  | _ -> ());
   Runtime.Dpool.set_default domains;
   if no_cache then Runtime.Diskcache.set_enabled false
   else Power.Leakage.set_persistent true
@@ -1008,6 +1023,399 @@ let compare_cmd =
       $ counter_rtol_arg $ scalar_rtol_arg $ dist_rtol_arg $ min_wall_arg
       $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* `serve` / `request`: the fault-tolerant estimation daemon.          *)
+
+module Sv = Runtime.Server
+
+let report_json (r : Techmap.Estimate.report) =
+  C.Obj
+    [
+      ("gates", C.Num (float_of_int r.Techmap.Estimate.gates));
+      ("area", C.Num r.Techmap.Estimate.area);
+      ("delay_s", C.Num r.Techmap.Estimate.delay);
+      ("dynamic_W", C.Num r.Techmap.Estimate.dynamic);
+      ("short_circuit_W", C.Num r.Techmap.Estimate.short_circuit);
+      ("static_W", C.Num r.Techmap.Estimate.static);
+      ("gate_leak_W", C.Num r.Techmap.Estimate.gate_leak);
+      ("total_W", C.Num r.Techmap.Estimate.total);
+      ("edp_Js", C.Num r.Techmap.Estimate.edp);
+    ]
+
+type serve_job = {
+  sj_lib : Cell.Genlib.t;
+  sj_blif : string;
+  sj_patterns : int;
+  sj_seed : int64;
+  sj_domains : int option;
+  sj_inject : string option;
+}
+
+let opt_field json name conv ~default =
+  match C.field json name with Result.Error _ -> Ok default | Ok v -> conv v
+
+let as_int name v =
+  match C.as_num name v with
+  | Result.Error _ as e -> e
+  | Ok f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Ok (int_of_float f)
+      else
+        R.error
+          ~context:[ (name, Printf.sprintf "%g" f) ]
+          R.Cli R.Validation_error "%s must be an integer" name
+
+(* Admission runs in the server process: cheap typed validation of every
+   parameter plus a full BLIF parse + well-formedness check, so garbage
+   is refused before a worker is ever spawned. *)
+let serve_admit ~allow_inject json =
+  let ( let* ) = Result.bind in
+  let* verb = Result.bind (C.field json "verb") (C.as_str "verb") in
+  let* () =
+    if verb = "estimate" then Ok ()
+    else
+      R.error R.Cli R.Validation_error
+        "unknown verb %S (this daemon speaks \"estimate\" and \"health\")" verb
+  in
+  let* blif = Result.bind (C.field json "blif") (C.as_str "blif") in
+  let* lib_name =
+    opt_field json "library" (C.as_str "library") ~default:"cntfet-generalized"
+  in
+  let* lib =
+    match Cell.Genlib.find_library lib_name with
+    | Some l -> Ok l
+    | None ->
+        R.error
+          ~context:
+            [
+              ( "known",
+                String.concat ","
+                  (List.map
+                     (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name)
+                     Cell.Genlib.all_libraries) );
+            ]
+          R.Cli R.Validation_error "unknown library %S" lib_name
+  in
+  let* patterns =
+    opt_field json "patterns" (as_int "patterns")
+      ~default:Techmap.Estimate.default_patterns
+  in
+  let* seed =
+    opt_field json "seed"
+      (fun v -> Result.map Int64.of_int (as_int "seed" v))
+      ~default:42L
+  in
+  let* domains =
+    opt_field json "domains"
+      (fun v -> Result.map Option.some (as_int "domains" v))
+      ~default:None
+  in
+  let* () =
+    R.protect ~stage:R.Cli (fun () ->
+        validate_patterns patterns;
+        validate_seed seed;
+        validate_domains domains)
+  in
+  let* nl = Nets.Blif.parse_string blif in
+  let* (_ : Nets.Check.report) = Nets.Check.check nl in
+  let* inject =
+    match C.field json "inject" with
+    | Result.Error _ -> Ok None
+    | Ok v ->
+        let* s = C.as_str "inject" v in
+        if not allow_inject then
+          R.error R.Cli R.Validation_error
+            "fault injection is disabled (start the daemon with --allow-inject)"
+        else if s = "crash" || s = "hang" then Ok (Some s)
+        else
+          R.error R.Cli R.Validation_error
+            "unknown inject %S (crash or hang)" s
+  in
+  Ok
+    {
+      sj_lib = lib;
+      sj_blif = blif;
+      sj_patterns = patterns;
+      sj_seed = seed;
+      sj_domains = domains;
+      sj_inject = inject;
+    }
+
+(* Runs in the forked worker. Fault injection mimics a worker crash /
+   wedge from inside the request, exactly what the supervisor machinery
+   exists to contain. *)
+let serve_execute job =
+  (match job.sj_inject with
+  | Some "crash" -> Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Some "hang" ->
+      while true do
+        Unix.sleepf 3600.0
+      done
+  | _ -> ());
+  Result.map report_json
+    (Techmap.Estimate.run_blif ?domains:job.sj_domains
+       ~patterns:job.sj_patterns ~seed:job.sj_seed ~lib:job.sj_lib job.sj_blif)
+
+let serve_describe job =
+  [
+    ("library", job.sj_lib.Cell.Genlib.name);
+    ("patterns", string_of_int job.sj_patterns);
+    ("blif_bytes", string_of_int (String.length job.sj_blif));
+  ]
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon binds (or the client dials)." in
+  Arg.(value & opt string "cntpower.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Concurrent forked estimation workers." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admitted requests allowed to wait for a worker; beyond this the \
+       daemon sheds with an immediate `overloaded` response."
+    in
+    Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_bytes_arg =
+    let doc = "Admission cap on the request frame payload, in bytes." in
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "max-request-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request deadline in seconds; a worker outliving it is \
+       killed and the request answered with a typed worker-timeout error."
+    in
+    Arg.(value & opt float 60.0 & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_arg =
+    let doc = "Budget for finishing in-flight work on SIGTERM/SIGINT." in
+    Arg.(value & opt float 30.0 & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let breaker_arg =
+    let doc =
+      "Worker crashes within the breaker window that trip the circuit \
+       breaker and flip the daemon to draining."
+    in
+    Arg.(value & opt int 5 & info [ "breaker" ] ~docv:"N" ~doc)
+  in
+  let breaker_window_arg =
+    let doc = "Circuit-breaker crash-counting window, in seconds." in
+    Arg.(value & opt float 60.0 & info [ "breaker-window" ] ~docv:"SECONDS" ~doc)
+  in
+  let allow_inject_arg =
+    let doc =
+      "Accept `inject` fields in requests (crash/hang the worker); for the \
+       resilience tests only."
+    in
+    Arg.(value & flag & info [ "allow-inject" ] ~doc)
+  in
+  let run_name_arg =
+    let doc =
+      "Run name for the journal/telemetry artifacts \
+       (_runs/$(docv)/events.jsonl, profile.json); default serve-<unix-time>."
+    in
+    Arg.(value & opt (some string) None & info [ "run" ] ~docv:"NAME" ~doc)
+  in
+  let run socket workers queue max_bytes deadline drain breaker window
+      allow_inject run_name log_level domains no_cache =
+    validate_timeout deadline;
+    validate_timeout drain;
+    validate_timeout window;
+    apply_runtime_opts ~domains ~no_cache;
+    Jn.set_verbosity log_level;
+    let run_name =
+      match run_name with
+      | Some n -> n
+      | None -> Printf.sprintf "serve-%d" (int_of_float (Unix.time ()))
+    in
+    (* Telemetry and the journal are always on for the daemon: the
+       per-request profile merge and the typed lifecycle events are the
+       observable surface `stats`/`trace`/`compare` feed on. *)
+    T.set_enabled true;
+    T.reset ();
+    Jn.set_enabled true;
+    (match Jn.open_sink ~path:(events_path_of run_name) with
+    | Ok () -> ()
+    | Result.Error e ->
+        Format.eprintf "cntpower: cannot open event journal: %a@." R.pp e;
+        Jn.set_enabled false);
+    let cfg =
+      {
+        (Sv.default_config ~socket_path:socket) with
+        Sv.max_workers = workers;
+        queue_limit = queue;
+        max_request_bytes = max_bytes;
+        default_deadline_s = deadline;
+        drain_timeout_s = drain;
+        breaker_threshold = breaker;
+        breaker_window_s = window;
+      }
+    in
+    Format.fprintf std
+      "cntpower serve: socket %s, run %s (%d workers, queue %d)@." socket
+      run_name workers queue;
+    Format.pp_print_flush std ();
+    let handlers =
+      {
+        Sv.admit = serve_admit ~allow_inject;
+        execute = serve_execute;
+        describe = serve_describe;
+      }
+    in
+    let result = Sv.run cfg handlers in
+    let prof = T.snapshot () in
+    T.set_enabled false;
+    (match T.save ~path:(profile_path_of run_name) prof with
+    | Ok () -> Format.fprintf std "profile: %s@." (profile_path_of run_name)
+    | Result.Error e ->
+        Format.eprintf "cntpower: cannot write profile: %a@." R.pp e);
+    Jn.close_sink ();
+    Jn.set_enabled false;
+    match result with
+    | Ok Sv.Drained ->
+        Format.fprintf std "serve: drained clean@.";
+        0
+    | Ok Sv.Tripped ->
+        let e =
+          R.make R.Experiment R.Worker_killed
+            "circuit breaker tripped on worker crash churn; daemon drained"
+        in
+        Format.eprintf "cntpower: %a@." R.pp e;
+        R.exit_code e
+    | Result.Error e ->
+        Format.eprintf "cntpower: %a@." R.pp e;
+        R.exit_code e
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the power-estimation daemon on a Unix socket: length-prefixed \
+          JSON requests (estimate/health), bounded forked-worker pool, \
+          admission validation, per-request deadlines, overload shedding, \
+          crash isolation with exponential backoff and a circuit breaker, \
+          and graceful SIGTERM/SIGINT drain. Journal and telemetry land in \
+          _runs/<run>/ for stats/trace/compare.")
+    Term.(
+      const run $ socket_arg $ workers_arg $ queue_arg $ max_bytes_arg
+      $ deadline_arg $ drain_arg $ breaker_arg $ breaker_window_arg
+      $ allow_inject_arg $ run_name_arg $ log_level_arg $ domains_arg
+      $ no_cache_arg)
+
+let request_cmd =
+  let file_arg =
+    let doc = "BLIF netlist to estimate (omit with --health)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let health_arg =
+    let doc = "Ask the daemon for its health report instead of an estimate." in
+    Arg.(value & flag & info [ "health" ] ~doc)
+  in
+  let library_arg =
+    let doc = "Mapping library name (cntfet-generalized, cntfet-conventional, cmos)." in
+    Arg.(
+      value & opt string "cntfet-generalized" & info [ "library" ] ~docv:"NAME" ~doc)
+  in
+  let req_patterns_arg =
+    let doc = "Simulation patterns for the request (server default: 640000)." in
+    Arg.(value & opt int 4096 & info [ "p"; "patterns" ] ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline to send (seconds); server default otherwise." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Client-side wait for the response, in seconds." in
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Fault injection (daemon must run with --allow-inject): $(b,crash) \
+       SIGKILLs the worker mid-request, $(b,hang) wedges it until the \
+       deadline kill."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("crash", "crash"); ("hang", "hang") ])) None
+      & info [ "inject" ] ~docv:"MODE" ~doc)
+  in
+  let run socket file health library patterns seed deadline timeout inject =
+    validate_timeout timeout;
+    if health then begin
+      let resp =
+        R.get_exn
+          (Sv.call ~socket_path:socket ~timeout_s:timeout
+             (C.Obj [ ("verb", C.Str "health") ]))
+      in
+      (match Sv.response_error resp with
+      | Some e -> R.raise_error e
+      | None -> ());
+      let h =
+        match C.field resp "health" with Ok h -> h | Result.Error _ -> resp
+      in
+      print_endline (C.json_to_string h);
+      0
+    end
+    else begin
+      let file =
+        match file with
+        | Some f -> f
+        | None ->
+            R.failf R.Cli R.Validation_error
+              "request needs a BLIF file argument (or --health)"
+      in
+      validate_patterns patterns;
+      validate_seed seed;
+      let blif =
+        match In_channel.with_open_bin file In_channel.input_all with
+        | s -> s
+        | exception Sys_error m -> R.failf R.Cli R.Io_error "%s" m
+      in
+      let fields =
+        [
+          ("verb", C.Str "estimate");
+          ("blif", C.Str blif);
+          ("library", C.Str library);
+          ("patterns", C.Num (float_of_int patterns));
+          ("seed", C.Num (Int64.to_float seed));
+        ]
+        @ (match deadline with
+          | None -> []
+          | Some d -> [ ("deadline_s", C.Num d) ])
+        @ match inject with None -> [] | Some s -> [ ("inject", C.Str s) ]
+      in
+      let resp =
+        R.get_exn (Sv.call ~socket_path:socket ~timeout_s:timeout (C.Obj fields))
+      in
+      match Sv.response_error resp with
+      | Some e ->
+          Format.eprintf "cntpower: %a@." R.pp e;
+          R.exit_code e
+      | None ->
+          let result =
+            match C.field resp "result" with
+            | Ok r -> r
+            | Result.Error _ -> resp
+          in
+          print_endline (C.json_to_string result);
+          0
+    end
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running `cntpower serve` daemon and print \
+          the JSON response body. Server-side failures exit with their \
+          typed error code (29 when the daemon shed the request under \
+          load); transport failures are typed cli/io-error.")
+    Term.(
+      const run $ socket_arg $ file_arg $ health_arg $ library_arg
+      $ req_patterns_arg $ seed_arg $ deadline_arg $ timeout_arg $ inject_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cntpower" ~version:"1.1.0"
@@ -1018,6 +1426,7 @@ let main =
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
       check_cmd; all_cmd; golden_cmd; stats_cmd; trace_cmd; compare_cmd;
+      serve_cmd; request_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

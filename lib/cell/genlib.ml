@@ -48,6 +48,9 @@ let cmos = make "cmos" T.cmos Static Cells.conventional
 
 let all_libraries = [ generalized_cntfet; conventional_cntfet; cmos ]
 
+let find_library name =
+  List.find_opt (fun t -> t.name = name) all_libraries
+
 let find_gate t name = List.find (fun g -> g.cell.Cells.name = name) t.gates
 
 let with_tech t tech =

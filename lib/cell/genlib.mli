@@ -36,6 +36,11 @@ val cmos : t
 
 val all_libraries : t list
 
+val find_library : string -> t option
+(** Look up a built-in library by its [name] field
+    (["cntfet-generalized"], ["cntfet-conventional"], ["cmos"]); the
+    string form used by the CLI and the [cntpower serve] protocol. *)
+
 val find_gate : t -> string -> gate
 
 val with_tech : t -> Spice.Tech.t -> t

@@ -25,6 +25,7 @@ type code =
   | Worker_timeout
   | Worker_killed
   | Regression
+  | Overloaded
   | Internal
 
 type t = {
@@ -65,6 +66,11 @@ let stage_name = function
   | Experiment -> "experiment"
   | Cli -> "cli"
 
+let all_stages =
+  [ Logic; Netlist; Aig; Techmap; Spice; Power; Experiment; Cli ]
+
+let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
+
 let code_name = function
   | Parse_error -> "parse-error"
   | Validation_error -> "validation-error"
@@ -82,7 +88,18 @@ let code_name = function
   | Worker_timeout -> "worker-timeout"
   | Worker_killed -> "worker-killed"
   | Regression -> "regression"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
+
+let all_codes =
+  [
+    Parse_error; Validation_error; Non_finite; Convergence_failure;
+    Singular_matrix; Combinational_loop; Undriven_net; Multiply_driven_net;
+    Unmapped_node; Missing_signal; Mismatch; Unsupported; Io_error;
+    Worker_timeout; Worker_killed; Regression; Overloaded; Internal;
+  ]
+
+let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
 
 let pp ppf e =
   Format.fprintf ppf "%s/%s: %s" (stage_name e.stage) (code_name e.code)
@@ -137,3 +154,4 @@ let exit_code e =
   | Worker_killed -> 26
   | Internal -> 27
   | Regression -> 28
+  | Overloaded -> 29

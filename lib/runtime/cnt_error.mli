@@ -38,6 +38,8 @@ type code =
   | Worker_timeout  (** a supervised worker exceeded its wall-clock watchdog *)
   | Worker_killed  (** a supervised worker died on a signal or nonzero exit *)
   | Regression  (** cross-run comparison found drift beyond tolerance *)
+  | Overloaded
+      (** the estimation daemon shed the request under load; retry later *)
   | Internal  (** wrapped unexpected exception; a bug if user-visible *)
 
 type t = {
@@ -85,6 +87,13 @@ val with_context : t -> (string * string) list -> t
 val stage_name : stage -> string
 val code_name : code -> string
 
+val stage_of_name : string -> stage option
+(** Inverse of {!stage_name}; used to revive typed errors from a wire
+    payload ([cntpower serve] responses). *)
+
+val code_of_name : string -> code option
+(** Inverse of {!code_name}. *)
+
 val pp : Format.formatter -> t -> unit
 (** ["spice/convergence-failure: <message> (steps=200000, dv_max=0.002)"] *)
 
@@ -104,8 +113,9 @@ val get_exn : ('a, t) result -> 'a
 (** [Ok x -> x], [Result.Error e -> raise (Error e)]. *)
 
 val exit_code : t -> int
-(** Distinct process exit code per error class, in 12..28 (documented in the
+(** Distinct process exit code per error class, in 12..29 (documented in the
     README). Reserved: 0 success, 10 keep-going run with failures,
     11 strict run aborted. Supervised-worker failures use 25
     ([Worker_timeout]) and 26 ([Worker_killed]); performance-regression
-    drift detected by [cntpower compare] uses 28 ([Regression]). *)
+    drift detected by [cntpower compare] uses 28 ([Regression]); a request
+    shed by an overloaded [cntpower serve] daemon uses 29 ([Overloaded]). *)

@@ -69,21 +69,43 @@ let load ~name ~digest =
         journal Journal.Cache_miss ~name ~digest ~file []);
     result
 
+(* First writer wins. [link] is atomic and fails with [EEXIST] when a
+   sibling racing on the same key already published; the loser discards
+   its temp file. Both artifacts carry the same digest-keyed content, so
+   which copy survives is irrelevant — what matters is that a reader
+   never observes a half-written file and that the winner's complete
+   artifact is never clobbered by a slower writer's [rename]. *)
+let publish ~tmp ~file =
+  match Unix.link tmp file with
+  | () ->
+      Sys.remove tmp;
+      `Won
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      Sys.remove tmp;
+      `Lost
+
 let store ~name ~digest v =
   if !on then begin
     let file = path ~name ~digest in
     match
-      mkdir_p (Filename.dirname file);
-      let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
-      let oc = open_out_bin tmp in
-      Printf.fprintf oc "%s %s %s\n" magic name digest;
-      Marshal.to_channel oc v [];
-      close_out oc;
-      Sys.rename tmp file
+      if Sys.file_exists file then `Lost
+      else begin
+        mkdir_p (Filename.dirname file);
+        let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
+        let oc = open_out_bin tmp in
+        Printf.fprintf oc "%s %s %s\n" magic name digest;
+        Marshal.to_channel oc v [];
+        close_out oc;
+        publish ~tmp ~file
+      end
     with
-    | () ->
+    | `Won ->
         Telemetry.count (Printf.sprintf "cache.%s.writes" name) 1;
         journal Journal.Cache_write ~name ~digest ~file []
+    | `Lost ->
+        Telemetry.count (Printf.sprintf "cache.%s.write_races" name) 1;
+        journal Journal.Cache_write ~name ~digest ~file
+          [ ("outcome", "lost-race") ]
     | exception e ->
         let err =
           match e with

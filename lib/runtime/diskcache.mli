@@ -12,9 +12,11 @@
     Files carry a one-line text header ([cntpower-cache v1 <name>
     <digest>]) checked before unmarshalling; a truncated, corrupt or
     foreign file degrades to a miss and a rebuild, never an error.
-    Writes go through a PID-suffixed temp file and [rename], so
-    concurrent processes racing on the same key each publish a complete
-    artifact and the last rename wins.
+    Writes go through a PID-suffixed temp file published with an atomic
+    [link]: the first writer racing on a key wins and later writers
+    discard their temp files (counted as [cache.<name>.write_races]), so
+    a complete artifact, once published, is never replaced by a
+    concurrent sibling mid-read.
 
     Every lookup records [cache.<name>.hits] / [.misses] / [.writes]
     {!Telemetry} counters and emits {!Journal.Cache_hit} /
@@ -54,9 +56,11 @@ val load : name:string -> digest:string -> 'a option
     exists to prevent. *)
 
 val store : name:string -> digest:string -> 'a -> unit
-(** Atomically publish an artifact. Failures (read-only FS, disk full)
-    are swallowed after a [Warn] journal event — the cache is an
-    optimization, never a correctness dependency. *)
+(** Atomically publish an artifact; when a concurrent writer (or an
+    earlier run) already published this key, the write is discarded —
+    first writer wins. Failures (read-only FS, disk full) are swallowed
+    after a [Warn] journal event — the cache is an optimization, never a
+    correctness dependency. *)
 
 val with_cache : name:string -> digest:string -> (unit -> 'a) -> 'a
 (** [load], or compute-and-[store] on a miss. Equal to just calling the

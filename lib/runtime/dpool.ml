@@ -12,13 +12,33 @@ let set_default d =
         invalid_arg "Dpool.set_default: domains out of range"
       else configured := Some n
 
-let env_domains () =
-  match Sys.getenv_opt "CNTPOWER_DOMAINS" with
-  | None -> None
+let env_var = "CNTPOWER_DOMAINS"
+
+let env_domains_checked () =
+  match Sys.getenv_opt env_var with
+  | None -> Ok None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 && n <= max_domains -> Some n
-      | _ -> None)
+      | Some n when n >= 1 && n <= max_domains -> Ok (Some n)
+      | Some n ->
+          Error
+            (Printf.sprintf "%s=%d is outside 1..%d" env_var n max_domains)
+      | None -> Error (Printf.sprintf "%s=%S is not an integer" env_var s))
+
+let env_warned = ref false
+
+let env_domains () =
+  match env_domains_checked () with
+  | Ok v -> v
+  | Error msg ->
+      (* Library fallback path (CLI startup validates and errors instead):
+         say so once rather than silently pretending the variable is
+         unset. *)
+      if not !env_warned then begin
+        env_warned := true;
+        Printf.eprintf "cntpower: warning: ignoring %s\n%!" msg
+      end;
+      None
 
 let default_domains () =
   match !configured with

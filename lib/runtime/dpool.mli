@@ -30,10 +30,21 @@ val set_default : int option -> unit
     no [?domains] ([None] restores auto detection). Set once from the CLI
     ([--domains N]) before any parallel work; forked workers inherit it. *)
 
+val env_var : string
+(** Name of the domain-count environment variable, ["CNTPOWER_DOMAINS"]. *)
+
+val env_domains_checked : unit -> (int option, string) result
+(** Validate the [CNTPOWER_DOMAINS] environment variable exactly like
+    [--domains]: [Ok None] when unset, [Ok (Some n)] for an integer in
+    [1, max_domains], and [Error msg] (naming the variable and the
+    offending value) otherwise. The CLI calls this at startup and turns
+    [Error] into a typed usage error instead of silently falling back. *)
+
 val default_domains : unit -> int
 (** The effective default: the {!set_default} override if any, else the
     [CNTPOWER_DOMAINS] environment variable (when it parses as an int in
-    [1, max_domains]), else {!recommended}. *)
+    [1, max_domains] — garbage earns one stderr warning and is ignored,
+    see {!env_domains_checked}), else {!recommended}. *)
 
 type stats = {
   domains_used : int;  (** workers that actually ran (1 = sequential) *)

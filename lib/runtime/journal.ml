@@ -19,6 +19,15 @@ type kind =
   | Cache_hit
   | Cache_miss
   | Cache_write
+  | Server_started
+  | Server_draining
+  | Server_stopped
+  | Request_admitted
+  | Request_rejected
+  | Request_done
+  | Overload_shed
+  | Worker_respawned
+  | Breaker_tripped
   | Custom of string
 
 type event = {
@@ -56,6 +65,15 @@ let kind_name = function
   | Cache_hit -> "cache_hit"
   | Cache_miss -> "cache_miss"
   | Cache_write -> "cache_write"
+  | Server_started -> "server_started"
+  | Server_draining -> "server_draining"
+  | Server_stopped -> "server_stopped"
+  | Request_admitted -> "request_admitted"
+  | Request_rejected -> "request_rejected"
+  | Request_done -> "request_done"
+  | Overload_shed -> "overload_shed"
+  | Worker_respawned -> "worker_respawned"
+  | Breaker_tripped -> "breaker_tripped"
   | Custom s -> s
 
 let kind_of_name = function
@@ -74,6 +92,15 @@ let kind_of_name = function
   | "cache_hit" -> Cache_hit
   | "cache_miss" -> Cache_miss
   | "cache_write" -> Cache_write
+  | "server_started" -> Server_started
+  | "server_draining" -> Server_draining
+  | "server_stopped" -> Server_stopped
+  | "request_admitted" -> Request_admitted
+  | "request_rejected" -> Request_rejected
+  | "request_done" -> Request_done
+  | "overload_shed" -> Overload_shed
+  | "worker_respawned" -> Worker_respawned
+  | "breaker_tripped" -> Breaker_tripped
   | other -> Custom other
 
 (* ------------------------------------------------------------------ *)

@@ -40,6 +40,19 @@ type kind =
   | Cache_hit  (** a persistent on-disk cache served an artifact *)
   | Cache_miss  (** artifact absent or stale; recomputed *)
   | Cache_write  (** artifact (re)written to [_cache/] *)
+  | Server_started  (** [cntpower serve] bound its socket and is accepting *)
+  | Server_draining
+      (** the daemon stopped accepting and is finishing in-flight work
+          (SIGTERM/SIGINT, or the crash-churn circuit breaker) *)
+  | Server_stopped  (** the daemon exited; fields carry the final stats *)
+  | Request_admitted  (** a request passed admission and was dispatched/queued *)
+  | Request_rejected  (** admission refused a request with a typed error *)
+  | Request_done  (** a response was sent; fields carry status and wall time *)
+  | Overload_shed  (** queue full (or draining): immediate overloaded reply *)
+  | Worker_respawned
+      (** dispatch resumed after a worker crash and its backoff window *)
+  | Breaker_tripped
+      (** worker crash churn exceeded the threshold; server flips to drain *)
   | Custom of string
       (** forward compatibility: unknown names parse as [Custom] rather
           than failing the whole journal *)

@@ -177,6 +177,148 @@ let run_forked ~timeout_s ~name ~degraded f =
                    E.Experiment E.Worker_killed "worker killed by signal %s"
                    (signal_name s))))
 
+(* ------------------------------------------------------------------ *)
+(* Non-blocking workers: the server's event loop multiplexes many of
+   these at once, polling each result pipe as select reports it readable
+   and killing overdue workers itself. The child-side contract matches
+   run_forked, with two additions: the payload carries an optional
+   telemetry profile (the worker resets its registry on entry and
+   snapshots on exit, so per-request profiles merge cleanly under a
+   caller-chosen span prefix), and the child closes caller-supplied fds
+   (listening sockets, peer connections) it must not keep alive. *)
+
+type 'a async = {
+  a_pid : int;
+  a_fd : Unix.file_descr;
+  a_name : string;
+  a_buf : Buffer.t;
+  a_telemetry_prefix : string list option;
+  mutable a_reaped : bool;
+}
+
+let spawn_async ?telemetry_prefix ?(close_in_child = []) ~name f =
+  flush_all_output ();
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        close_in_child;
+      Journal.begin_capture ();
+      let profiled = telemetry_prefix <> None && Telemetry.enabled () in
+      if profiled then Telemetry.reset ();
+      let result = E.protect ~stage:E.Experiment f in
+      let profile = if profiled then Some (Telemetry.snapshot ()) else None in
+      let events = Journal.end_capture () in
+      flush_all_output ();
+      (try
+         let payload =
+           Marshal.to_bytes
+             ((result, events, profile)
+               : (_, E.t) result * Journal.event list * Telemetry.profile option)
+             []
+         in
+         let oc = Unix.out_channel_of_descr wr in
+         output_bytes oc payload;
+         flush oc
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      Unix.set_nonblock rd;
+      if Journal.enabled () then
+        Journal.emit ~level:Debug Journal.Worker_spawned
+          [ ("worker", name); ("worker_pid", string_of_int pid) ];
+      {
+        a_pid = pid;
+        a_fd = rd;
+        a_name = name;
+        a_buf = Buffer.create 256;
+        a_telemetry_prefix = telemetry_prefix;
+        a_reaped = false;
+      }
+
+let async_pid a = a.a_pid
+let async_fd a = a.a_fd
+
+(* Classify a finished worker exactly like run_forked does, merging the
+   shipped journal events and telemetry profile on the clean path. *)
+let async_finish a =
+  a.a_reaped <- true;
+  (try Unix.close a.a_fd with Unix.Unix_error _ -> ());
+  let name = a.a_name in
+  let pid = a.a_pid in
+  let killed detail =
+    if Journal.enabled () then
+      Journal.emit ~level:Warn Journal.Worker_killed
+        (("worker", name) :: ("worker_pid", string_of_int pid) :: detail)
+  in
+  match waitpid_retry pid with
+  | Unix.WEXITED 0 -> (
+      match
+        (Marshal.from_bytes (Buffer.to_bytes a.a_buf) 0
+          : (_, E.t) result * Journal.event list * Telemetry.profile option)
+      with
+      | result, events, profile ->
+          Journal.append_events events;
+          (match (profile, a.a_telemetry_prefix) with
+          | Some p, Some prefix -> Telemetry.merge ~prefix p
+          | _ -> ());
+          if Journal.enabled () then
+            Journal.emit ~level:Debug Journal.Worker_exited
+              [ ("worker", name); ("worker_pid", string_of_int pid) ];
+          result
+      | exception _ ->
+          killed [ ("exit", "0") ];
+          Result.Error
+            (E.make
+               ~context:(worker_ctx ~name [])
+               E.Experiment E.Internal
+               "worker exited cleanly but returned no result"))
+  | Unix.WEXITED code ->
+      killed [ ("exit", string_of_int code) ];
+      Result.Error
+        (E.makef
+           ~context:(worker_ctx ~name [ ("exit", string_of_int code) ])
+           E.Experiment E.Worker_killed "worker exited with code %d" code)
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      killed [ ("signal", signal_name s) ];
+      Result.Error
+        (E.makef
+           ~context:(worker_ctx ~name [ ("signal", signal_name s) ])
+           E.Experiment E.Worker_killed "worker killed by signal %s"
+           (signal_name s))
+
+let async_step a =
+  if a.a_reaped then
+    `Done
+      (Result.Error
+         (E.make
+            ~context:(worker_ctx ~name:a.a_name [])
+            E.Experiment E.Internal "worker result consumed twice"))
+  else
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read a.a_fd chunk 0 (Bytes.length chunk) with
+      | 0 -> `Done (async_finish a)
+      | n ->
+          Buffer.add_subbytes a.a_buf chunk 0 n;
+          drain ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Pending
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      | exception Unix.Unix_error _ -> `Done (async_finish a)
+    in
+    drain ()
+
+let async_abort a =
+  if not a.a_reaped then begin
+    a.a_reaped <- true;
+    (try Unix.close a.a_fd with Unix.Unix_error _ -> ());
+    (try Unix.kill a.a_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (waitpid_retry a.a_pid)
+  end
+
 let run_inprocess ~degraded f =
   E.protect ~stage:E.Experiment (fun () -> f ~degraded)
 

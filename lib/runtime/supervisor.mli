@@ -51,3 +51,48 @@ val run :
 
 val retryable : Cnt_error.t -> bool
 (** [true] exactly for the [Worker_timeout] / [Worker_killed] codes. *)
+
+(** {2 Non-blocking workers}
+
+    {!run} is synchronous: one worker, watched to completion. The
+    estimation daemon ({!Server}) instead multiplexes a bounded pool of
+    concurrent workers from a single [select] loop, so it needs the fork /
+    poll / reap steps exposed separately. The child-side contract is the
+    same as {!run}'s (typed errors, captured journal events riding the
+    result pipe), plus an optional per-worker telemetry profile: with
+    [?telemetry_prefix] set and {!Telemetry.enabled}, the worker resets
+    its registry on entry, snapshots on exit, and the parent merges the
+    snapshot under that span prefix when the result is reaped. *)
+
+type 'a async
+(** A forked worker whose result pipe is polled rather than awaited. *)
+
+val spawn_async :
+  ?telemetry_prefix:string list ->
+  ?close_in_child:Unix.file_descr list ->
+  name:string ->
+  (unit -> 'a) ->
+  'a async
+(** Fork a worker running [f ()]. [close_in_child] lists descriptors the
+    child must not keep open (the server's listening socket and client
+    connections — a long-running worker holding them would defeat EOF
+    detection and drain). Emits [worker_spawned] when the journal is on. *)
+
+val async_pid : 'a async -> int
+
+val async_fd : 'a async -> Unix.file_descr
+(** The parent's (non-blocking) read end of the result pipe; put it in
+    your [select] read set and call {!async_step} when it fires. *)
+
+val async_step :
+  'a async -> [ `Pending | `Done of ('a, Cnt_error.t) result ]
+(** Drain whatever the pipe currently holds. [`Done] exactly once, at
+    EOF: the worker is reaped and classified like {!run} does — clean
+    exit with a payload yields its result (journal events appended,
+    telemetry merged), anything else a typed [Worker_killed]. Calling
+    again after [`Done] returns a typed [Internal] error. *)
+
+val async_abort : 'a async -> unit
+(** SIGKILL the worker, reap it, close the pipe. No result, no journal
+    event — the caller narrates why (deadline, drain timeout). Safe to
+    call after [`Done] (no-op). *)

@@ -149,3 +149,24 @@ let pp_row ppf (name, r) =
   Format.fprintf ppf "%-8s %5d %6.0f %8.2f %6.2f %8.2f %8.2f" name r.gates
     (r.delay *. 1e12) (r.dynamic *. 1e6) (r.static *. 1e6) (r.total *. 1e6)
     (r.edp *. 1e24)
+
+(* Checked one-call pipeline from BLIF text to a report, shared by the
+   [cntpower serve] daemon and anything else that holds a netlist as
+   text rather than a file. Every stage failure comes back typed. *)
+let run_blif ?domains ?patterns ?seed ~lib text =
+  let module E = Runtime.Cnt_error in
+  let ( let* ) = Result.bind in
+  let* nl = Nets.Blif.parse_string text in
+  let* _wf = Nets.Check.check nl in
+  let* mapped =
+    match
+      E.protect ~stage:E.Techmap (fun () ->
+          let aig = Aigs.Aig.of_netlist nl in
+          let opt = Aigs.Opt.resyn2rs aig in
+          let ml = Matchlib.build lib in
+          Mapper.map_checked ml opt)
+    with
+    | Ok r -> r
+    | Error _ as e -> e
+  in
+  E.protect ~stage:E.Power (fun () -> run ?domains ?patterns ?seed mapped)

@@ -47,3 +47,17 @@ val pp_report : Format.formatter -> report -> unit
 val pp_row : Format.formatter -> string * report -> unit
 (** One Table-1-style row: name, gates, delay (ps), P_D, P_S, P_T (uW),
     EDP (1e-24 J·s). *)
+
+val run_blif :
+  ?domains:int ->
+  ?patterns:int ->
+  ?seed:int64 ->
+  lib:Cell.Genlib.t ->
+  string ->
+  (report, Runtime.Cnt_error.t) result
+(** Checked end-to-end pipeline over BLIF {e text}: parse, well-formedness
+    check ({!Nets.Check.check}), AIG construction, [resyn2rs], matchlib
+    build (disk-cached), mapping, then {!run}. Used by [cntpower serve],
+    whose requests carry the netlist inline. Every failure — parse error,
+    combinational loop, unmapped node, non-finite power — is a typed
+    error, never an exception. *)

@@ -56,6 +56,49 @@ let roundtrip () =
     "served back" (Some [ 1; 2; 3 ])
     (DC.load ~name:"testart" ~digest)
 
+let store_first_wins () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "first-wins"; "v1" ] in
+  DC.store ~name:"race" ~digest "winner";
+  (* A second writer on the same key publishes nothing: the complete
+     artifact already on disk is never replaced. *)
+  DC.store ~name:"race" ~digest "loser";
+  Alcotest.(check (option string))
+    "first write wins" (Some "winner")
+    (DC.load ~name:"race" ~digest)
+
+(* The write-stampede regression: two processes racing on one key must
+   each publish atomically, exactly one must win, and neither may leave
+   temp-file litter or a torn artifact behind. *)
+let store_stampede_two_writers () =
+  in_temp_cache @@ fun () ->
+  let digest = DC.digest [ "stampede"; "v1" ] in
+  let payload tag = "payload-" ^ tag ^ String.make 8192 tag.[0] in
+  let writer tag =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        DC.store ~name:"stampede" ~digest (payload tag);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let a = writer "a" in
+  let b = writer "b" in
+  ignore (Unix.waitpid [] a);
+  ignore (Unix.waitpid [] b);
+  (match DC.load ~name:"stampede" ~digest with
+  | Some v ->
+      Alcotest.(check bool)
+        "one complete artifact" true
+        (v = payload "a" || v = payload "b")
+  | None -> Alcotest.fail "artifact missing after stampede");
+  let leftovers =
+    Sys.readdir (DC.dir ()) |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no temp litter" [] leftovers
+
 let unknown_digest_misses () =
   in_temp_cache @@ fun () ->
   Alcotest.(check (option (list int)))
@@ -221,6 +264,8 @@ let () =
           tc "digest is length-framed" `Quick digest_is_length_framed;
           tc "path rejects separators" `Quick path_rejects_separators;
           tc "store/load roundtrip" `Quick roundtrip;
+          tc "first writer wins" `Quick store_first_wins;
+          tc "two forked writers: no stampede" `Quick store_stampede_two_writers;
           tc "unknown digest misses" `Quick unknown_digest_misses;
           tc "stale digest misses" `Quick stale_digest_misses;
           tc "corrupt/truncated file misses" `Quick corrupt_file_misses;

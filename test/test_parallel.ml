@@ -53,6 +53,79 @@ let pool_default_respects_env () =
   D.set_default None;
   Alcotest.(check bool) "auto >= 1" true (D.default_domains () >= 1)
 
+(* CNTPOWER_DOMAINS validation runs in a forked child so the parent's
+   environment (and the other env-sensitive tests) stay untouched —
+   [Unix.putenv] has no inverse. These tests are registered BEFORE any
+   pool test: OCaml 5 forbids [Unix.fork] once a domain has ever been
+   spawned, and the pool tests spawn domains. *)
+let in_child f =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> ( try Unix._exit (if f () then 0 else 1) with _ -> Unix._exit 2)
+  | pid -> (
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> true
+      | _ -> false)
+
+let env_domains_validation () =
+  List.iter
+    (fun (value, expect_ok) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "CNTPOWER_DOMAINS=%S" value)
+        true
+        (in_child (fun () ->
+             Unix.putenv D.env_var value;
+             match D.env_domains_checked () with
+             | Ok (Some n) -> expect_ok && n >= 1
+             | Ok None -> false (* set but reported unset *)
+             | Error msg ->
+                 (* reject with a diagnostic that names the variable *)
+                 let contains hay needle =
+                   let nh = String.length hay and nn = String.length needle in
+                   let rec go i =
+                     i + nn <= nh
+                     && (String.sub hay i nn = needle || go (i + 1))
+                   in
+                   go 0
+                 in
+                 (not expect_ok) && contains msg D.env_var)))
+    [
+      ("4", true);
+      ("1", true);
+      ("banana", false);
+      ("0", false);
+      ("-2", false);
+      ("", false);
+      ("999", false);
+    ]
+
+let env_domains_unset_is_none () =
+  (* In this suite nothing sets the variable in the parent, so checked ()
+     must report "unset" rather than an error or a phantom value. *)
+  match Sys.getenv_opt D.env_var with
+  | Some _ -> () (* ambient CI value: covered by the cases above *)
+  | None ->
+      Alcotest.(check bool)
+        "unset -> Ok None" true
+        (D.env_domains_checked () = Ok None)
+
+let env_garbage_warns_and_falls_back () =
+  Alcotest.(check bool)
+    "garbage ignored with usable fallback" true
+    (in_child (fun () ->
+         Unix.putenv D.env_var "garbage";
+         D.set_default None;
+         D.default_domains () >= 1))
+
+let env_valid_value_is_used () =
+  Alcotest.(check bool)
+    "valid env value selects domain count" true
+    (in_child (fun () ->
+         Unix.putenv D.env_var "3";
+         D.set_default None;
+         D.default_domains () = 3))
+
 let pool_merges_worker_telemetry () =
   let was = T.enabled () in
   T.set_enabled true;
@@ -206,6 +279,13 @@ let () =
     [
       ( "dpool",
         [
+          (* env tests first: they fork, which is illegal after the pool
+             tests below have spawned domains. *)
+          tc "env validation matches --domains" `Quick env_domains_validation;
+          tc "env unset reports none" `Quick env_domains_unset_is_none;
+          tc "env garbage warns and falls back" `Quick
+            env_garbage_warns_and_falls_back;
+          tc "env valid value is used" `Quick env_valid_value_is_used;
           tc "covers all units exactly once" `Quick pool_covers_all_units;
           tc "small work stays sequential" `Quick pool_small_work_is_sequential;
           tc "exception propagates" `Quick pool_propagates_exception;
