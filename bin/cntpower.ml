@@ -8,10 +8,11 @@
 
    Exit codes (documented in README.md): 0 success; 10 `all --keep-going`
    completed with failures; 11 `all --strict` aborted at the first failure;
-   12-29 a typed Cnt_error escaped a single-experiment command (one code
+   12-30 a typed Cnt_error escaped a single-experiment command (one code
    per error class, see Runtime.Cnt_error.exit_code — 25 worker timeout,
    26 worker killed, also `serve` after a breaker trip; 29 a request shed
-   by an overloaded `serve` daemon); 124/125 cmdliner errors. *)
+   by an overloaded `serve` daemon; 30 a `campaign` that completed with
+   quarantined shards); 124/125 cmdliner errors. *)
 
 let std = Format.std_formatter
 
@@ -126,6 +127,21 @@ let find_circuit name =
                    Circuits.Suite.all) );
           ]
         R.Cli R.Validation_error "unknown circuit %S" name
+
+let find_library name =
+  match Cell.Genlib.find_library name with
+  | Some l -> l
+  | None ->
+      R.failf
+        ~context:
+          [
+            ( "known",
+              String.concat ","
+                (List.map
+                   (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name)
+                   Cell.Genlib.all_libraries) );
+          ]
+        R.Cli R.Validation_error "unknown library %S" name
 
 let patterns_arg =
   let doc = "Number of random simulation patterns for power estimation (>= 1)." in
@@ -632,6 +648,209 @@ let all_cmd =
       $ no_cache_arg $ inject_crash_arg $ inject_hang_arg $ inject_flaky_arg)
 
 (* ------------------------------------------------------------------ *)
+(* `campaign`: the durable (circuit × library × seed) sweep runner.    *)
+
+module Cg = Experiments.Campaign
+
+let campaign_cmd =
+  let run_name_arg =
+    let doc =
+      "Campaign name; the queue log, manifest, journal and profile live \
+       under _runs/$(docv)/."
+    in
+    Arg.(value & opt string "campaign" & info [ "run" ] ~docv:"NAME" ~doc)
+  in
+  let only_arg =
+    let doc = "Restrict the sweep to the given circuits (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"CIRCUIT" ~doc)
+  in
+  let library_arg =
+    let doc =
+      "Restrict the sweep to the given libraries (repeatable); default all \
+       three."
+    in
+    Arg.(value & opt_all string [] & info [ "library" ] ~docv:"NAME" ~doc)
+  in
+  let seeds_arg =
+    let doc =
+      "Number of seeds per (circuit, library) cell: seeds --seed, \
+       --seed+1, ..."
+    in
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Concurrent forked shard workers." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let shard_timeout_arg =
+    let doc =
+      "Per-shard-attempt deadline in seconds; a worker outliving it is \
+       killed and the attempt counts as failed. 0 disables the deadline."
+    in
+    Arg.(value & opt float 300.0 & info [ "shard-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_attempts_arg =
+    let doc =
+      "Lease budget per shard: after this many failed attempts the shard \
+       is quarantined and the campaign continues degraded (exit 30 at the \
+       end if anything was quarantined)."
+    in
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Continue an existing campaign: reclaim leases left by a dead \
+       coordinator and re-run only shards the queue log does not record \
+       as done. Without this flag an existing queue log is refused."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let inject_crash_arg =
+    let doc =
+      "Fault injection: SIGKILL the worker of the named shard (id or \
+       circuit name) on every attempt — a deterministic poison shard."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-crash" ] ~docv:"SHARD" ~doc)
+  in
+  let inject_flaky_arg =
+    let doc =
+      "Fault injection: SIGKILL the named shard's worker on the first \
+       attempt only, so the retry succeeds."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-flaky" ] ~docv:"SHARD" ~doc)
+  in
+  let inject_hang_arg =
+    let doc =
+      "Fault injection: wedge the named shard's worker until the deadline \
+       kill."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-hang" ] ~docv:"SHARD" ~doc)
+  in
+  let inject_kill_after_arg =
+    let doc =
+      "Fault injection: SIGKILL the coordinator itself right after the \
+       $(docv)th shard completion of this invocation hits the queue log \
+       (before the manifest write) — the crash --resume must recover from."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-kill-after" ] ~docv:"N" ~doc)
+  in
+  let run run_name only libs seeds_n patterns seed workers shard_timeout
+      max_attempts resume log_level domains no_cache inj_crash inj_flaky
+      inj_hang kill_after =
+    validate_patterns patterns;
+    validate_seed seed;
+    validate_timeout shard_timeout;
+    if workers < 1 || workers > 128 then
+      R.failf
+        ~context:[ ("workers", string_of_int workers) ]
+        R.Cli R.Validation_error "--workers must be in [1, 128] (got %d)"
+        workers;
+    if max_attempts < 1 || max_attempts > 100 then
+      R.failf
+        ~context:[ ("max-attempts", string_of_int max_attempts) ]
+        R.Cli R.Validation_error "--max-attempts must be in [1, 100] (got %d)"
+        max_attempts;
+    if seeds_n < 1 || seeds_n > 10_000 then
+      R.failf
+        ~context:[ ("seeds", string_of_int seeds_n) ]
+        R.Cli R.Validation_error "--seeds must be in [1, 10000] (got %d)"
+        seeds_n;
+    (match kill_after with
+    | Some n when n < 1 ->
+        R.failf R.Cli R.Validation_error
+          "--inject-kill-after must be >= 1 (got %d)" n
+    | _ -> ());
+    apply_runtime_opts ~domains ~no_cache;
+    Jn.set_verbosity log_level;
+    let circuits =
+      match only with [] -> Circuits.Suite.all | names -> List.map find_circuit names
+    in
+    let libraries =
+      match libs with
+      | [] -> Cell.Genlib.all_libraries
+      | names -> List.map find_library names
+    in
+    let seeds = List.init seeds_n (fun i -> Int64.add seed (Int64.of_int i)) in
+    let cfg =
+      {
+        (Cg.default_config ~campaign:run_name) with
+        Cg.circuits;
+        libraries;
+        seeds;
+        patterns;
+        workers;
+        shard_timeout_s = shard_timeout;
+        max_attempts;
+        resume;
+        inject =
+          {
+            Cg.inj_crash;
+            inj_flaky;
+            inj_hang;
+            inj_kill_after = kill_after;
+          };
+      }
+    in
+    (* Telemetry and the journal are always on for a campaign: shard
+       transitions are the observable surface, and workers ship their
+       profiles back through the supervisor pipe. *)
+    T.set_enabled true;
+    T.reset ();
+    Jn.set_enabled true;
+    (match Jn.open_sink ~path:(Cg.events_path cfg) with
+    | Ok () -> ()
+    | Result.Error e ->
+        Format.eprintf "cntpower: cannot open event journal: %a@." R.pp e;
+        Jn.set_enabled false);
+    let result = Cg.run cfg in
+    Jn.close_sink ();
+    Jn.set_enabled false;
+    T.set_enabled false;
+    match result with
+    | Ok s ->
+        Format.fprintf std "%a@." Cg.pp_summary s;
+        Format.fprintf std "queue: %s@.manifest: %s@." (Cg.queue_path cfg)
+          (Cg.manifest_path cfg);
+        if s.Cg.quarantined = [] then 0
+        else begin
+          let e =
+            R.makef
+              ~context:[ ("shards", String.concat "," s.Cg.quarantined) ]
+              R.Experiment R.Shard_quarantined
+              "%d shard(s) quarantined after %d attempt(s) each"
+              (List.length s.Cg.quarantined)
+              max_attempts
+          in
+          Format.eprintf "cntpower: %a@." R.pp e;
+          R.exit_code e
+        end
+    | Result.Error e ->
+        Format.eprintf "cntpower: %a@." R.pp e;
+        R.exit_code e
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a durable (circuit × library × seed) sweep on a crash-safe \
+          work-queue: every shard transition is an appended, flushed line \
+          in _runs/<run>/queue.jsonl, shards run in forked workers under \
+          per-attempt deadlines with bounded retry + exponential backoff, \
+          poison shards are quarantined after --max-attempts (campaign \
+          continues degraded, exit 30), and --resume after a hard kill \
+          reclaims stale leases and re-runs only what is not recorded \
+          done. Results stream into the run manifest and telemetry \
+          profile, so stats/trace/compare work mid-campaign.")
+    Term.(
+      const run $ run_name_arg $ only_arg $ library_arg $ seeds_arg
+      $ patterns_arg $ seed_arg $ workers_arg $ shard_timeout_arg
+      $ max_attempts_arg $ resume_arg $ log_level_arg $ domains_arg
+      $ no_cache_arg $ inject_crash_arg $ inject_flaky_arg $ inject_hang_arg
+      $ inject_kill_after_arg)
+
+(* ------------------------------------------------------------------ *)
 (* `golden`: the regression gate over a run manifest. *)
 
 let golden_cmd =
@@ -748,7 +967,7 @@ let golden_cmd =
 
 (* Machine-readable stats rendering: span paths flattened, quantiles
    precomputed — the shape scripts want, on the Checkpoint JSON dialect. *)
-let stats_json ~path prof =
+let stats_json ~path ?journal prof =
   let rec flatten prefix acc (s : Runtime.Telemetry.span) =
     let p = prefix ^ s.T.span_name in
     let acc =
@@ -763,8 +982,21 @@ let stats_json ~path prof =
     List.fold_left (flatten (p ^ "/")) acc s.T.children
   in
   C.Obj
-    [
-      ("profile", C.Str path);
+    ([
+       ("profile", C.Str path);
+     ]
+    @ (match journal with
+      | None -> []
+      | Some (events, skipped) ->
+          [
+            ( "journal",
+              C.Obj
+                [
+                  ("events", C.Num (float_of_int events));
+                  ("skipped_lines", C.Num (float_of_int skipped));
+                ] );
+          ])
+    @ [
       ("spans", C.Arr (List.rev (List.fold_left (flatten "") [] prof.T.p_spans)));
       ( "counters",
         C.Obj
@@ -785,7 +1017,7 @@ let stats_json ~path prof =
                    ("max", C.Num (if d.T.d_count = 0 then 0.0 else d.T.d_max));
                  ])
              prof.T.p_dists) );
-    ]
+    ])
 
 let stats_cmd =
   let run_pos =
@@ -808,9 +1040,40 @@ let stats_cmd =
       match file with Some p -> p | None -> profile_path_of run_name
     in
     let prof = R.get_exn (T.load ~path) in
-    if json then print_string (C.json_to_string (stats_json ~path prof))
+    (* The run's journal rides along when stats is pointed at a run (not
+       a bare --file): event count plus how many torn/corrupt lines the
+       lenient loader had to skip — silent data loss is not OK. *)
+    let journal =
+      match file with
+      | Some _ -> None
+      | None ->
+          let epath = events_path_of run_name in
+          if Sys.file_exists epath then
+            match Jn.load ~path:epath with
+            | Ok (evs, skipped) -> Some (List.length evs, skipped)
+            | Result.Error e ->
+                Format.eprintf "cntpower: cannot read journal %s: %a@." epath
+                  R.pp e;
+                None
+          else None
+    in
+    (match journal with
+    | Some (_, skipped) when skipped > 0 ->
+        Format.eprintf
+          "cntpower: journal for run %s has %d malformed line(s) (torn \
+           write?)@."
+          run_name skipped
+    | _ -> ());
+    if json then print_string (C.json_to_string (stats_json ~path ?journal prof))
     else begin
       Format.fprintf std "profile: %s@." path;
+      (match journal with
+      | Some (events, skipped) ->
+          Format.fprintf std "journal: %d events" events;
+          if skipped > 0 then
+            Format.fprintf std " (%d torn/corrupt line(s) skipped)" skipped;
+          Format.fprintf std "@."
+      | None -> ());
       T.pp std prof
     end;
     0
@@ -838,11 +1101,11 @@ let load_events_lenient path =
           Format.eprintf
             "cntpower: skipped %d malformed line(s) in %s (torn write?)@."
             skipped path;
-        evs
+        (evs, skipped)
     | Result.Error e ->
         Format.eprintf "cntpower: cannot read journal %s: %a@." path R.pp e;
-        []
-  else []
+        ([], 0)
+  else ([], 0)
 
 let trace_cmd =
   let run_pos =
@@ -858,7 +1121,7 @@ let trace_cmd =
   in
   let run run_name out =
     let prof = R.get_exn (T.load ~path:(profile_path_of run_name)) in
-    let events = load_events_lenient (events_path_of run_name) in
+    let events, skipped = load_events_lenient (events_path_of run_name) in
     if events = [] then
       Format.eprintf
         "cntpower: no journal events for run %s; spans will be laid out \
@@ -867,9 +1130,9 @@ let trace_cmd =
     let out = match out with Some p -> p | None -> trace_path_of run_name in
     R.get_exn (Tr.save ~path:out ~events prof);
     Format.fprintf std
-      "trace: %s (%d journal events; open in chrome://tracing or \
-       ui.perfetto.dev)@."
-      out (List.length events);
+      "trace: %s (%d journal events, %d torn/corrupt line(s) skipped; open \
+       in chrome://tracing or ui.perfetto.dev)@."
+      out (List.length events) skipped;
     0
   in
   Cmd.v
@@ -1343,7 +1606,17 @@ let request_cmd =
       & opt (some (enum [ ("crash", "crash"); ("hang", "hang") ])) None
       & info [ "inject" ] ~docv:"MODE" ~doc)
   in
-  let run socket file health library patterns seed deadline timeout inject =
+  let req_retries_arg =
+    let doc =
+      "Extra attempts when the daemon sheds the request as overloaded: \
+       each retry waits the server's retry_after_s hint (doubled per \
+       attempt, jittered, capped at 30 s) before re-dialing. Default 0: \
+       give up immediately, as before."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~doc)
+  in
+  let run socket file health library patterns seed deadline timeout inject
+      retries =
     validate_timeout timeout;
     if health then begin
       let resp =
@@ -1388,21 +1661,49 @@ let request_cmd =
           | Some d -> [ ("deadline_s", C.Num d) ])
         @ match inject with None -> [] | Some s -> [ ("inject", C.Str s) ]
       in
-      let resp =
-        R.get_exn (Sv.call ~socket_path:socket ~timeout_s:timeout (C.Obj fields))
+      (* Overload is the one retryable reply: the daemon shed the request
+         and said when to come back (retry_after_s). Honor the hint with
+         exponential growth and jitter so a herd of shed clients does not
+         re-dial in lockstep; everything else still fails fast. *)
+      let retry_delay ~hint attempt =
+        let frac, _ = Float.modf (Unix.gettimeofday () *. 1000.0) in
+        let jitter = 0.75 +. (0.5 *. frac) in
+        Float.min 30.0 (hint *. (2.0 ** float_of_int attempt) *. jitter)
       in
-      match Sv.response_error resp with
-      | Some e ->
-          Format.eprintf "cntpower: %a@." R.pp e;
-          R.exit_code e
-      | None ->
-          let result =
-            match C.field resp "result" with
-            | Ok r -> r
-            | Result.Error _ -> resp
-          in
-          print_endline (C.json_to_string result);
-          0
+      let rec attempt n =
+        let resp =
+          R.get_exn
+            (Sv.call ~socket_path:socket ~timeout_s:timeout (C.Obj fields))
+        in
+        match Sv.response_error resp with
+        | Some e when e.R.code = R.Overloaded && n < retries ->
+            let hint =
+              match List.assoc_opt "retry_after_s" e.R.context with
+              | Some s -> (
+                  match float_of_string_opt s with
+                  | Some f when Float.is_finite f && f > 0.0 -> f
+                  | _ -> 1.0)
+              | None -> 1.0
+            in
+            let delay = retry_delay ~hint n in
+            Format.eprintf
+              "cntpower: daemon overloaded; retry %d/%d in %.2f s@." (n + 1)
+              retries delay;
+            Unix.sleepf delay;
+            attempt (n + 1)
+        | Some e ->
+            Format.eprintf "cntpower: %a@." R.pp e;
+            R.exit_code e
+        | None ->
+            let result =
+              match C.field resp "result" with
+              | Ok r -> r
+              | Result.Error _ -> resp
+            in
+            print_endline (C.json_to_string result);
+            0
+      in
+      attempt 0
     end
   in
   Cmd.v
@@ -1414,7 +1715,8 @@ let request_cmd =
           load); transport failures are typed cli/io-error.")
     Term.(
       const run $ socket_arg $ file_arg $ health_arg $ library_arg
-      $ req_patterns_arg $ seed_arg $ deadline_arg $ timeout_arg $ inject_arg)
+      $ req_patterns_arg $ seed_arg $ deadline_arg $ timeout_arg $ inject_arg
+      $ req_retries_arg)
 
 let main =
   Cmd.group
@@ -1425,8 +1727,8 @@ let main =
     [
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
-      check_cmd; all_cmd; golden_cmd; stats_cmd; trace_cmd; compare_cmd;
-      serve_cmd; request_cmd;
+      check_cmd; all_cmd; campaign_cmd; golden_cmd; stats_cmd; trace_cmd;
+      compare_cmd; serve_cmd; request_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

@@ -26,6 +26,7 @@ type code =
   | Worker_killed
   | Regression
   | Overloaded
+  | Shard_quarantined
   | Internal
 
 type t = {
@@ -89,6 +90,7 @@ let code_name = function
   | Worker_killed -> "worker-killed"
   | Regression -> "regression"
   | Overloaded -> "overloaded"
+  | Shard_quarantined -> "shard-quarantined"
   | Internal -> "internal"
 
 let all_codes =
@@ -96,7 +98,8 @@ let all_codes =
     Parse_error; Validation_error; Non_finite; Convergence_failure;
     Singular_matrix; Combinational_loop; Undriven_net; Multiply_driven_net;
     Unmapped_node; Missing_signal; Mismatch; Unsupported; Io_error;
-    Worker_timeout; Worker_killed; Regression; Overloaded; Internal;
+    Worker_timeout; Worker_killed; Regression; Overloaded; Shard_quarantined;
+    Internal;
   ]
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
@@ -155,3 +158,4 @@ let exit_code e =
   | Internal -> 27
   | Regression -> 28
   | Overloaded -> 29
+  | Shard_quarantined -> 30

@@ -40,6 +40,9 @@ type code =
   | Regression  (** cross-run comparison found drift beyond tolerance *)
   | Overloaded
       (** the estimation daemon shed the request under load; retry later *)
+  | Shard_quarantined
+      (** a campaign shard exhausted its attempts and was set aside; the
+          rest of the campaign completed degraded *)
   | Internal  (** wrapped unexpected exception; a bug if user-visible *)
 
 type t = {
@@ -113,9 +116,11 @@ val get_exn : ('a, t) result -> 'a
 (** [Ok x -> x], [Result.Error e -> raise (Error e)]. *)
 
 val exit_code : t -> int
-(** Distinct process exit code per error class, in 12..29 (documented in the
+(** Distinct process exit code per error class, in 12..30 (documented in the
     README). Reserved: 0 success, 10 keep-going run with failures,
     11 strict run aborted. Supervised-worker failures use 25
     ([Worker_timeout]) and 26 ([Worker_killed]); performance-regression
     drift detected by [cntpower compare] uses 28 ([Regression]); a request
-    shed by an overloaded [cntpower serve] daemon uses 29 ([Overloaded]). *)
+    shed by an overloaded [cntpower serve] daemon uses 29 ([Overloaded]);
+    a campaign that finished with quarantined shards uses 30
+    ([Shard_quarantined]). *)

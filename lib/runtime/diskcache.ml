@@ -1,6 +1,14 @@
 let default_dir = "_cache"
 let cache_dir = ref default_dir
-let set_dir d = cache_dir := d
+
+(* One orphaned-tmp sweep per process per directory (see [gc_tmp]);
+   retargeting the cache re-arms it. *)
+let swept = ref false
+
+let set_dir d =
+  cache_dir := d;
+  swept := false
+
 let dir () = !cache_dir
 
 let on = ref true
@@ -40,9 +48,83 @@ let journal kind ~name ~digest ~file extra =
     Journal.emit kind
       (("cache", name) :: ("digest", digest) :: ("path", file) :: extra)
 
+(* --- orphaned temp files ------------------------------------------- *)
+
+(* [store] publishes through "<artifact>.<pid>.tmp" and removes only its
+   own temp file; a writer killed between creating it and [publish]
+   leaves it behind forever. The sweep removes temp litter that is
+   plausibly dead: older than the age threshold AND not owned by a live
+   process (the PID rides in the file name). *)
+
+let tmp_max_age = ref 3600.0
+let set_tmp_max_age_s s = tmp_max_age := s
+let tmp_max_age_s () = !tmp_max_age
+
+let tmp_owner f =
+  (* "<name>-<digest>.bin.<pid>.tmp" *)
+  match Filename.chop_suffix_opt ~suffix:".tmp" f with
+  | None -> None
+  | Some base -> (
+      match Filename.extension base with
+      | "" -> None
+      | ext -> int_of_string_opt (String.sub ext 1 (String.length ext - 1)))
+
+let owner_alive = function
+  | None -> false
+  | Some pid -> (
+      pid > 0
+      &&
+      match Unix.kill pid 0 with
+      | () -> true
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+      | exception _ -> true)
+
+let gc_tmp () =
+  let d = !cache_dir in
+  let now = Unix.gettimeofday () in
+  let reclaimed = ref 0 in
+  (match Sys.readdir d with
+  | exception Sys_error _ -> ()
+  | files ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".tmp" then begin
+            let p = Filename.concat d f in
+            match Unix.stat p with
+            | exception Unix.Unix_error (_, _, _) -> ()
+            | st ->
+                let age = now -. st.Unix.st_mtime in
+                if
+                  age > !tmp_max_age
+                  && not (owner_alive (tmp_owner f))
+                then begin
+                  match Sys.remove p with
+                  | () ->
+                      incr reclaimed;
+                      if Journal.enabled () then
+                        Journal.emit ~level:Journal.Debug
+                          (Journal.Custom "cache_tmp_reclaimed")
+                          [
+                            ("path", p);
+                            ("age_s", Printf.sprintf "%.0f" age);
+                          ]
+                  | exception Sys_error _ -> ()
+                end
+          end)
+        files);
+  if !reclaimed > 0 then Telemetry.count "cache.tmp_reclaimed" !reclaimed;
+  !reclaimed
+
+let maybe_gc () =
+  if not !swept then begin
+    swept := true;
+    ignore (gc_tmp ())
+  end
+
 let load ~name ~digest =
   if not !on then None
-  else
+  else begin
+    maybe_gc ();
     let file = path ~name ~digest in
     let header = Printf.sprintf "%s %s %s" magic name digest in
     let result =
@@ -68,6 +150,7 @@ let load ~name ~digest =
         Telemetry.count (Printf.sprintf "cache.%s.misses" name) 1;
         journal Journal.Cache_miss ~name ~digest ~file []);
     result
+  end
 
 (* First writer wins. [link] is atomic and fails with [EEXIST] when a
    sibling racing on the same key already published; the loser discards
@@ -86,6 +169,7 @@ let publish ~tmp ~file =
 
 let store ~name ~digest v =
   if !on then begin
+    maybe_gc ();
     let file = path ~name ~digest in
     match
       if Sys.file_exists file then `Lost

@@ -23,6 +23,12 @@
     [Cache_miss] / [Cache_write] events, so a profile shows exactly
     which artifacts were served from disk.
 
+    A writer killed between creating its temp file and publishing leaves
+    [<artifact>.<pid>.tmp] litter behind; the first enabled {!load} or
+    {!store} of a process sweeps the cache directory and reclaims temp
+    files that are both older than {!tmp_max_age_s} and not owned by a
+    live process (counted as [cache.tmp_reclaimed]).
+
     The cache is on by default; [--no-cache] calls [set_enabled false],
     turning {!with_cache} into a plain call (no reads, no writes, no
     counters). *)
@@ -65,3 +71,20 @@ val store : name:string -> digest:string -> 'a -> unit
 val with_cache : name:string -> digest:string -> (unit -> 'a) -> 'a
 (** [load], or compute-and-[store] on a miss. Equal to just calling the
     thunk when disabled. *)
+
+(** {2 Orphaned-temp-file garbage collection} *)
+
+val gc_tmp : unit -> int
+(** Sweep the cache directory now and return how many orphaned temp
+    files were reclaimed: [*.tmp] entries older than {!tmp_max_age_s}
+    whose embedded owner PID is not a live process. Runs automatically
+    once per process on the first enabled {!load}/{!store} (re-armed by
+    {!set_dir}); exposed for tests and long-lived daemons. Failures
+    (unreadable directory, races with a concurrent sweep) are
+    swallowed — reclaiming litter is an optimization. *)
+
+val set_tmp_max_age_s : float -> unit
+(** Age threshold for the sweep; default 3600 s. Young temp files are
+    never touched — they may belong to a writer mid-publish. *)
+
+val tmp_max_age_s : unit -> float

@@ -28,6 +28,12 @@ type kind =
   | Overload_shed
   | Worker_respawned
   | Breaker_tripped
+  | Shard_enqueued
+  | Shard_leased
+  | Shard_done
+  | Shard_failed
+  | Shard_quarantined
+  | Lease_reclaimed
   | Custom of string
 
 type event = {
@@ -74,6 +80,12 @@ let kind_name = function
   | Overload_shed -> "overload_shed"
   | Worker_respawned -> "worker_respawned"
   | Breaker_tripped -> "breaker_tripped"
+  | Shard_enqueued -> "shard_enqueued"
+  | Shard_leased -> "shard_leased"
+  | Shard_done -> "shard_done"
+  | Shard_failed -> "shard_failed"
+  | Shard_quarantined -> "shard_quarantined"
+  | Lease_reclaimed -> "lease_reclaimed"
   | Custom s -> s
 
 let kind_of_name = function
@@ -101,6 +113,12 @@ let kind_of_name = function
   | "overload_shed" -> Overload_shed
   | "worker_respawned" -> Worker_respawned
   | "breaker_tripped" -> Breaker_tripped
+  | "shard_enqueued" -> Shard_enqueued
+  | "shard_leased" -> Shard_leased
+  | "shard_done" -> Shard_done
+  | "shard_failed" -> Shard_failed
+  | "shard_quarantined" -> Shard_quarantined
+  | "lease_reclaimed" -> Lease_reclaimed
   | other -> Custom other
 
 (* ------------------------------------------------------------------ *)

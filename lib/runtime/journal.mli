@@ -53,6 +53,18 @@ type kind =
       (** dispatch resumed after a worker crash and its backoff window *)
   | Breaker_tripped
       (** worker crash churn exceeded the threshold; server flips to drain *)
+  | Shard_enqueued  (** a campaign shard entered the work-queue log *)
+  | Shard_leased
+      (** the campaign coordinator took a time-stamped lease on a shard *)
+  | Shard_done  (** a shard completed; fields carry wall time and attempt *)
+  | Shard_failed
+      (** an attempt failed (worker death, timeout, typed error); the
+          shard stays eligible for retry until its attempt budget runs out *)
+  | Shard_quarantined
+      (** a shard exhausted its attempts and was set aside; the campaign
+          continues degraded *)
+  | Lease_reclaimed
+      (** on resume, a lease whose owner died (or expired) was reclaimed *)
   | Custom of string
       (** forward compatibility: unknown names parse as [Custom] rather
           than failing the whole journal *)

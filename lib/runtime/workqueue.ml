@@ -1,0 +1,297 @@
+module E = Cnt_error
+module J = Checkpoint
+module Jn = Journal
+
+type state = Enqueued | Leased | Done | Failed | Quarantined
+
+let state_name = function
+  | Enqueued -> "enqueued"
+  | Leased -> "leased"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Quarantined -> "quarantined"
+
+let all_states = [ Enqueued; Leased; Done; Failed; Quarantined ]
+let state_of_name s = List.find_opt (fun st -> state_name st = s) all_states
+
+type record = {
+  rc_time : float;
+  rc_pid : int;
+  rc_shard : string;
+  rc_state : state;
+  rc_attempt : int;
+  rc_expires : float;
+  rc_fields : (string * string) list;
+}
+
+type status = {
+  mutable st_state : state;
+  mutable st_attempts : int;
+  mutable st_expires : float;
+  mutable st_owner : int;
+  mutable st_fields : (string * string) list;
+}
+
+type t = {
+  wq_path : string;
+  wq_oc : out_channel;
+  wq_tbl : (string, status) Hashtbl.t;
+  mutable wq_order : string list;  (* first-enqueue order, reversed *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let record_to_json rc =
+  J.Obj
+    [
+      ("t", J.Num rc.rc_time);
+      ("pid", J.Num (float_of_int rc.rc_pid));
+      ("shard", J.Str rc.rc_shard);
+      ("state", J.Str (state_name rc.rc_state));
+      ("attempt", J.Num (float_of_int rc.rc_attempt));
+      ("expires", J.Num rc.rc_expires);
+      ("fields", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) rc.rc_fields));
+    ]
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let record_of_json j =
+  let* rc_time = Result.bind (J.field j "t") (J.as_num "t") in
+  let* pid = Result.bind (J.field j "pid") (J.as_num "pid") in
+  let* rc_shard = Result.bind (J.field j "shard") (J.as_str "shard") in
+  let* state_str = Result.bind (J.field j "state") (J.as_str "state") in
+  let* rc_state =
+    match state_of_name state_str with
+    | Some s -> Ok s
+    | None -> E.error E.Cli E.Parse_error "unknown shard state %S" state_str
+  in
+  let* attempt = Result.bind (J.field j "attempt") (J.as_num "attempt") in
+  let* rc_expires = Result.bind (J.field j "expires") (J.as_num "expires") in
+  let* rc_fields =
+    match J.field j "fields" with
+    | Ok (J.Obj fields) ->
+        map_result
+          (fun (k, v) ->
+            let* s = J.as_str k v in
+            Ok (k, s))
+          fields
+    | Ok _ -> E.error E.Cli E.Parse_error "field \"fields\" must be an object"
+    | Error e -> Error e
+  in
+  Ok
+    {
+      rc_time;
+      rc_pid = int_of_float pid;
+      rc_shard;
+      rc_state;
+      rc_attempt = int_of_float attempt;
+      rc_expires;
+      rc_fields;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let apply tbl order rc =
+  let st =
+    match Hashtbl.find_opt tbl rc.rc_shard with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            st_state = rc.rc_state;
+            st_attempts = 0;
+            st_expires = 0.0;
+            st_owner = 0;
+            st_fields = [];
+          }
+        in
+        Hashtbl.add tbl rc.rc_shard st;
+        order := rc.rc_shard :: !order;
+        st
+  in
+  st.st_state <- rc.rc_state;
+  (match rc.rc_state with
+  | Leased ->
+      st.st_attempts <- max st.st_attempts rc.rc_attempt;
+      st.st_expires <- rc.rc_expires;
+      st.st_owner <- rc.rc_pid
+  | Done | Quarantined -> st.st_fields <- rc.rc_fields
+  | Enqueued | Failed -> ())
+
+let parse_lines text =
+  String.split_on_char '\n' text
+  |> List.fold_left
+       (fun (rcs, skipped) line ->
+         if String.trim line = "" then (rcs, skipped)
+         else
+           match
+             let* j = J.json_of_string line in
+             record_of_json j
+           with
+           | Ok rc -> (rc :: rcs, skipped)
+           | Error _ -> (rcs, skipped + 1))
+       ([], 0)
+  |> fun (rcs, skipped) -> (List.rev rcs, skipped)
+
+let load ~path =
+  let* text = J.read_file path in
+  Ok (parse_lines text)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let open_ ~path =
+  let text =
+    if Sys.file_exists path then J.read_file path else Ok ""
+  in
+  let* text = text in
+  let records, skipped = parse_lines text in
+  match
+    mkdir_p (Filename.dirname path);
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  with
+  | oc ->
+      (* A crash can tear the final line short of its newline; appending
+         straight after it would merge the next record into the torn
+         line, losing it on the following replay. Terminate it first. *)
+      let n = String.length text in
+      if n > 0 && text.[n - 1] <> '\n' then begin
+        output_char oc '\n';
+        flush oc
+      end;
+      let tbl = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter (apply tbl order) records;
+      Ok ({ wq_path = path; wq_oc = oc; wq_tbl = tbl; wq_order = !order }, skipped)
+  | exception Sys_error msg ->
+      E.error ~context:[ ("path", path) ] E.Cli E.Io_error "%s" msg
+  | exception Unix.Unix_error (err, _, _) ->
+      E.error ~context:[ ("path", path) ] E.Cli E.Io_error "%s"
+        (Unix.error_message err)
+
+let close t = try close_out t.wq_oc with Sys_error _ -> ()
+let path t = t.wq_path
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+
+(* Whole line then flush: a crash tears at most this record, and replay
+   skips torn lines (same contract as Journal.write_line). *)
+let append t rc =
+  (try
+     output_string t.wq_oc (J.json_to_string_compact (record_to_json rc));
+     output_char t.wq_oc '\n';
+     flush t.wq_oc
+   with Sys_error _ -> ());
+  let order = ref t.wq_order in
+  apply t.wq_tbl order rc;
+  t.wq_order <- !order
+
+let journal_kind = function
+  | Enqueued -> (Jn.Shard_enqueued, Jn.Debug)
+  | Leased -> (Jn.Shard_leased, Jn.Debug)
+  | Done -> (Jn.Shard_done, Jn.Info)
+  | Failed -> (Jn.Shard_failed, Jn.Warn)
+  | Quarantined -> (Jn.Shard_quarantined, Jn.Warn)
+
+let transition t shard state ~attempt ~expires ~fields =
+  append t
+    {
+      rc_time = Unix.gettimeofday ();
+      rc_pid = Unix.getpid ();
+      rc_shard = shard;
+      rc_state = state;
+      rc_attempt = attempt;
+      rc_expires = expires;
+      rc_fields = fields;
+    };
+  if Jn.enabled () then begin
+    let kind, level = journal_kind state in
+    Jn.emit ~level kind
+      (("shard", shard) :: ("attempt", string_of_int attempt) :: fields)
+  end
+
+let enqueue t shard =
+  if Hashtbl.mem t.wq_tbl shard then false
+  else begin
+    transition t shard Enqueued ~attempt:0 ~expires:0.0 ~fields:[];
+    true
+  end
+
+let attempts t shard =
+  match Hashtbl.find_opt t.wq_tbl shard with
+  | Some st -> st.st_attempts
+  | None -> 0
+
+let lease t shard ~ttl_s =
+  let attempt = attempts t shard + 1 in
+  transition t shard Leased ~attempt
+    ~expires:(Unix.gettimeofday () +. ttl_s)
+    ~fields:[];
+  attempt
+
+let mark_done t shard ~fields =
+  transition t shard Done ~attempt:(attempts t shard) ~expires:0.0 ~fields
+
+let mark_failed t shard ~fields =
+  transition t shard Failed ~attempt:(attempts t shard) ~expires:0.0 ~fields
+
+let mark_quarantined t shard ~fields =
+  transition t shard Quarantined ~attempt:(attempts t shard) ~expires:0.0
+    ~fields
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let state t shard =
+  Option.map (fun st -> st.st_state) (Hashtbl.find_opt t.wq_tbl shard)
+
+let fields t shard =
+  match Hashtbl.find_opt t.wq_tbl shard with
+  | Some st -> st.st_fields
+  | None -> []
+
+let shards t = List.rev t.wq_order
+
+let count t state =
+  Hashtbl.fold
+    (fun _ st n -> if st.st_state = state then n + 1 else n)
+    t.wq_tbl 0
+
+let ready t =
+  List.filter
+    (fun shard ->
+      match state t shard with
+      | Some (Enqueued | Failed) -> true
+      | _ -> false)
+    (shards t)
+
+let pid_alive pid =
+  if pid <= 0 then false
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception _ -> true
+
+let stale_leases t ~now =
+  List.filter
+    (fun shard ->
+      match Hashtbl.find_opt t.wq_tbl shard with
+      | Some { st_state = Leased; st_expires; st_owner; _ } ->
+          st_expires <= now
+          || (st_owner <> Unix.getpid () && not (pid_alive st_owner))
+      | _ -> false)
+    (shards t)

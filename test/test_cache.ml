@@ -178,6 +178,89 @@ let with_cache_computes_once () =
     (DC.with_cache ~name:"once" ~digest thunk);
   Alcotest.(check int) "one compute" 1 !computes
 
+(* --- orphaned temp-file GC ------------------------------------------- *)
+
+(* A PID guaranteed dead: fork a child that exits immediately and reap
+   it. Immediate reuse of a just-reaped PID is vanishingly unlikely. *)
+let dead_pid () =
+  match Unix.fork () with
+  | 0 -> Unix._exit 0
+  | pid ->
+      ignore (Unix.waitpid [] pid);
+      pid
+
+let make_tmp name ~age =
+  let p = Filename.concat (DC.dir ()) name in
+  Out_channel.with_open_bin p (fun oc -> output_string oc "partial write");
+  let old = Unix.gettimeofday () -. age in
+  Unix.utimes p old old;
+  p
+
+let gc_reclaims_dead_orphans () =
+  in_temp_cache @@ fun () ->
+  let orphan =
+    make_tmp
+      (Printf.sprintf "orphan-deadbeef.bin.%d.tmp" (dead_pid ()))
+      ~age:(DC.tmp_max_age_s () +. 100.)
+  in
+  let n = DC.gc_tmp () in
+  Alcotest.(check bool) "at least the orphan reclaimed" true (n >= 1);
+  Alcotest.(check bool) "orphan removed" false (Sys.file_exists orphan)
+
+let gc_preserves_young_and_live () =
+  in_temp_cache @@ fun () ->
+  (* Young litter may belong to a writer mid-publish; old litter with a
+     live owner belongs to a slow writer. Neither may be touched. *)
+  let young =
+    make_tmp (Printf.sprintf "young-d.bin.%d.tmp" (dead_pid ())) ~age:1.0
+  in
+  let live =
+    make_tmp
+      (Printf.sprintf "live-d.bin.%d.tmp" (Unix.getpid ()))
+      ~age:(DC.tmp_max_age_s () +. 100.)
+  in
+  let not_tmp =
+    make_tmp "plain-artifact.bin" ~age:(DC.tmp_max_age_s () +. 100.)
+  in
+  ignore (DC.gc_tmp ());
+  Alcotest.(check bool) "young tmp survives" true (Sys.file_exists young);
+  Alcotest.(check bool) "live-owner tmp survives" true (Sys.file_exists live);
+  Alcotest.(check bool) "non-tmp file survives" true (Sys.file_exists not_tmp);
+  List.iter Sys.remove [ young; live; not_tmp ]
+
+let gc_runs_once_on_first_use () =
+  in_temp_cache @@ fun () ->
+  (* set_dir (via in_temp_cache) re-arms the once-per-process sweep; the
+     first enabled load must collect the orphan as a side effect. *)
+  let orphan =
+    make_tmp
+      (Printf.sprintf "auto-d.bin.%d.tmp" (dead_pid ()))
+      ~age:(DC.tmp_max_age_s () +. 100.)
+  in
+  ignore (DC.load ~name:"unrelated" ~digest:(DC.digest [ "auto-sweep" ]));
+  Alcotest.(check bool) "orphan swept by first load" false
+    (Sys.file_exists orphan)
+
+let gc_counts_reclaims () =
+  in_temp_cache @@ fun () ->
+  let module T = Runtime.Telemetry in
+  let was = T.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      T.reset ();
+      T.set_enabled was)
+    (fun () ->
+      T.set_enabled true;
+      T.reset ();
+      ignore
+        (make_tmp
+           (Printf.sprintf "counted-d.bin.%d.tmp" (dead_pid ()))
+           ~age:(DC.tmp_max_age_s () +. 100.));
+      let n = DC.gc_tmp () in
+      Alcotest.(check (option int))
+        "cache.tmp_reclaimed counter matches" (Some n)
+        (T.find_counter (T.snapshot ()) "cache.tmp_reclaimed"))
+
 (* --- matchlib -------------------------------------------------------- *)
 
 let matchlib_digest_sensitivity () =
@@ -272,6 +355,14 @@ let () =
           tc "wrong-name header misses" `Quick wrong_name_header_misses;
           tc "disabled bypasses reads and writes" `Quick disabled_bypasses;
           tc "with_cache computes once" `Quick with_cache_computes_once;
+        ] );
+      ( "tmp-gc",
+        [
+          tc "reclaims old dead-owner orphans" `Quick gc_reclaims_dead_orphans;
+          tc "preserves young and live-owner litter" `Quick
+            gc_preserves_young_and_live;
+          tc "sweeps automatically on first use" `Quick gc_runs_once_on_first_use;
+          tc "counts reclaims" `Quick gc_counts_reclaims;
         ] );
       ( "matchlib",
         [
