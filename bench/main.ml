@@ -102,18 +102,22 @@ let micro_tests () =
     Test.make ~name:"estimate-mult8-64k"
       (Staged.stage (fun () -> ignore (Techmap.Estimate.run ~patterns:65536 mapped)))
   in
-  let matchlib_cold =
-    (* The real table construction, cache bypassed. *)
-    Test.make ~name:"matchlib-build-cold"
-      (Staged.stage (fun () ->
-           ignore (Techmap.Matchlib.build ~cache:false Cell.Genlib.generalized_cntfet)))
-  in
-  let matchlib_warm =
-    (* Load of the persisted artifact; the mapping setup above already
-       published it, so every iteration is a hit. *)
-    Test.make ~name:"matchlib-cache-warm"
-      (Staged.stage (fun () ->
-           ignore (Techmap.Matchlib.build Cell.Genlib.generalized_cntfet)))
+  let matchlib_per_family =
+    (* The real table construction per logic family — built-ins plus any
+       registered data file (the PTL family when run from the repo root) —
+       cold (cache bypassed) and Diskcache-warm (the first warm iteration
+       publishes the artifact, the rest load it). *)
+    List.concat_map
+      (fun lib ->
+        let name = lib.Cell.Genlib.name in
+        [
+          Test.make ~name:(Printf.sprintf "matchlib-build-%s-cold" name)
+            (Staged.stage (fun () ->
+                 ignore (Techmap.Matchlib.build ~cache:false lib)));
+          Test.make ~name:(Printf.sprintf "matchlib-build-%s-warm" name)
+            (Staged.stage (fun () -> ignore (Techmap.Matchlib.build lib)));
+        ])
+      (Cell.Genlib.libraries ())
   in
   let sim_seq_vs_par =
     (* Sequential vs. domain-parallel sweep over the same mapped netlist
@@ -159,8 +163,8 @@ let micro_tests () =
                Runtime.Telemetry.count "bench.counter" 1;
                Runtime.Telemetry.observe "bench.dist" 1.0)))
   in
-  [ classify; dc_solve; resyn; mapping; simulate; matchlib_cold; matchlib_warm ]
-  @ sim_seq_vs_par
+  [ classify; dc_solve; resyn; mapping; simulate ]
+  @ matchlib_per_family @ sim_seq_vs_par
   @ [ supervise; telemetry_disabled ]
 
 let run_micro () =
@@ -197,6 +201,18 @@ let run_profile () =
     ignore (Techmap.Matchlib.build Cell.Genlib.generalized_cntfet);
   T.set_enabled true;
   T.reset ();
+  (* Per-family match-table construction, cold and Diskcache-warm, so the
+     committed profile tracks what a new family (e.g. the PTL data file)
+     costs to bring up versus load back. *)
+  T.with_span "bench.matchlib_families" (fun () ->
+      List.iter
+        (fun lib ->
+          let name = lib.Cell.Genlib.name in
+          T.with_span (Printf.sprintf "%s.cold" name) (fun () ->
+              ignore (Techmap.Matchlib.build ~cache:false lib));
+          T.with_span (Printf.sprintf "%s.warm" name) (fun () ->
+              ignore (Techmap.Matchlib.build lib)))
+        (Cell.Genlib.libraries ()));
   T.with_span "bench.pipeline" (fun () ->
       let nl = Circuits.Multiplier.generate ~width:8 in
       let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
@@ -330,7 +346,30 @@ let run_serve_roundtrip () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Data-file families ride along in every per-family section when the
+   committed libraries are present (bench runs from the repo root). *)
+let load_data_libraries () =
+  let dir = Filename.concat "data" "libraries" in
+  let builtin name =
+    List.exists
+      (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name = name)
+      Cell.Genlib.all_libraries
+  in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f Cell.Libfile.extension then
+          let path = Filename.concat dir f in
+          if not (builtin (Filename.chop_suffix f Cell.Libfile.extension)) then
+            match Cell.Libfile.load path with
+            | Ok (lib, _) ->
+                Format.printf "loaded %s (%s)@." path lib.Cell.Genlib.name
+            | Error e ->
+                Format.eprintf "cannot load %s: %a@." path Runtime.Cnt_error.pp e)
+      (Sys.readdir dir)
+
 let () =
+  load_data_libraries ();
   let args = Array.to_list Sys.argv |> List.tl in
   let args =
     List.filter

@@ -128,20 +128,39 @@ let find_circuit name =
           ]
         R.Cli R.Validation_error "unknown circuit %S" name
 
+(* The "known" context must list the *resolution view* — built-ins plus
+   registered data files — or the error would deny libraries that are in
+   fact loadable. *)
 let find_library name =
   match Cell.Genlib.find_library name with
   | Some l -> l
   | None ->
       R.failf
-        ~context:
-          [
-            ( "known",
-              String.concat ","
-                (List.map
-                   (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name)
-                   Cell.Genlib.all_libraries) );
-          ]
+        ~context:[ ("known", String.concat "," (Cell.Genlib.library_names ())) ]
         R.Cli R.Validation_error "unknown library %S" name
+
+(* Logic-family files: the CNTPOWER_LIBPATH search path loads first, then
+   the explicit --library-file arguments (so an explicit file wins a name
+   collision). Any broken file is fatal here with its typed line-numbered
+   error; shadowing warnings go to stderr and the run continues. *)
+let load_library_files files =
+  let load_one path =
+    match Cell.Libfile.load path with
+    | Ok (_, warnings) ->
+        List.iter (fun w -> Format.eprintf "cntpower: %s: %s@." path w) warnings
+    | Result.Error e -> R.raise_error e
+  in
+  List.iter load_one (Cell.Libfile.discover ());
+  List.iter load_one files
+
+let library_file_arg =
+  let doc =
+    "Load a logic-family file (genlib-plus, see README \"Defining a logic \
+     family\") and register it under its LIBRARY name next to the \
+     built-ins for this invocation (repeatable). Files found on the \
+     colon-separated $(b,CNTPOWER_LIBPATH) directories are loaded first."
+  in
+  Arg.(value & opt_all string [] & info [ "library-file" ] ~docv:"FILE" ~doc)
 
 let patterns_arg =
   let doc = "Number of random simulation patterns for power estimation (>= 1)." in
@@ -159,9 +178,10 @@ let circuit_arg =
    failure distinctly from success. *)
 let ok0 run = Term.(const (fun () -> run (); 0) $ const ())
 
-let run_table1 patterns seed only =
+let run_table1 libfiles patterns seed only =
   validate_patterns patterns;
   validate_seed seed;
+  load_library_files libfiles;
   let circuits =
     match only with [] -> Circuits.Suite.all | names -> List.map find_circuit names
   in
@@ -176,8 +196,10 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (synthesis, mapping, power, EDP).")
     Term.(
-      const (fun patterns seed only -> run_table1 patterns seed only; 0)
-      $ patterns_arg $ seed_arg $ only)
+      const (fun libfiles patterns seed only ->
+          run_table1 libfiles patterns seed only;
+          0)
+      $ library_file_arg $ patterns_arg $ seed_arg $ only)
 
 let libchar_cmd =
   Cmd.v
@@ -234,10 +256,11 @@ let ablations_cmd =
    (unknown circuit, malformed generator output, mapping dead-end) is
    reported as a typed error and exits with its per-class code, exactly
    like the other subcommands. *)
-let run_synth circuit patterns seed domains no_cache =
+let run_synth circuit libfiles patterns seed domains no_cache =
   validate_patterns patterns;
   validate_seed seed;
   apply_runtime_opts ~domains ~no_cache;
+  load_library_files libfiles;
   let body () =
     let entry = find_circuit circuit in
     let nl = entry.Circuits.Suite.generate () in
@@ -265,7 +288,7 @@ let run_synth circuit patterns seed domains no_cache =
             Format.fprintf std "  %a@." Techmap.Estimate.pp_report report;
             let sta = Techmap.Sta.analyze mapped in
             Format.fprintf std "  %a@." Techmap.Sta.pp_report sta)
-      Cell.Genlib.all_libraries
+      (Cell.Genlib.libraries ())
   in
   match R.protect ~stage:R.Experiment body with
   | Ok () -> 0
@@ -276,22 +299,24 @@ let run_synth circuit patterns seed domains no_cache =
 let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
-       ~doc:"Synthesize and map one benchmark with all three libraries, with details.")
+       ~doc:"Synthesize and map one benchmark with every library, with details.")
     Term.(
-      const run_synth $ circuit_arg $ patterns_arg $ seed_arg $ domains_arg
-      $ no_cache_arg)
+      const run_synth $ circuit_arg $ library_file_arg $ patterns_arg
+      $ seed_arg $ domains_arg $ no_cache_arg)
 
 let genlib_cmd =
-  let run () =
+  let run libfiles =
+    load_library_files libfiles;
     List.iter
       (fun lib ->
         Format.fprintf std "# %a@.%s@." Cell.Genlib.pp_summary lib
           (Cell.Genlib.to_genlib_string lib))
-      Cell.Genlib.all_libraries
+      (Cell.Genlib.libraries ());
+    0
   in
   Cmd.v
-    (Cmd.info "genlib" ~doc:"Dump the three mapping libraries in genlib syntax.")
-    (ok0 run)
+    (Cmd.info "genlib" ~doc:"Dump the mapping libraries in genlib syntax.")
+    Term.(const run $ library_file_arg)
 
 (* BLIF pipeline used by `check` and by `all --with-blif`: parse, validate
    well-formedness, synthesize, map and estimate. Every failure is a typed
@@ -314,16 +339,17 @@ let run_blif_pipeline ppf ~patterns ~seed path =
         (lib.Cell.Genlib.name ^ ".gates", float_of_int report.Techmap.Estimate.gates);
         (lib.Cell.Genlib.name ^ ".total_uW", report.Techmap.Estimate.total *. 1e6);
       ])
-    Cell.Genlib.all_libraries
+    (Cell.Genlib.libraries ())
 
 let check_cmd =
   let file =
     let doc = "BLIF file to parse, validate and map." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file patterns seed =
+  let run file libfiles patterns seed =
     validate_patterns patterns;
     validate_seed seed;
+    load_library_files libfiles;
     let (_ : (string * float) list) = run_blif_pipeline std ~patterns ~seed file in
     0
   in
@@ -333,7 +359,7 @@ let check_cmd =
          "Parse a BLIF netlist, run the well-formedness checker and map it. \
           Malformed input exits non-zero with a typed error, never a \
           backtrace.")
-    Term.(const run $ file $ patterns_arg $ seed_arg)
+    Term.(const run $ file $ library_file_arg $ patterns_arg $ seed_arg)
 
 let mode_arg =
   let keep_going =
@@ -450,14 +476,17 @@ let all_cmd =
     in
     Arg.(value & opt_all string [] & info [ "inject-flaky" ] ~docv:"NAME" ~doc)
   in
-  let run patterns seed mode only with_blifs timeout retries no_supervise
-      resume run_name profile log_level domains no_cache inj_crash inj_hang
-      inj_flaky =
+  let run libfiles patterns seed mode only with_blifs timeout retries
+      no_supervise resume run_name profile log_level domains no_cache
+      inj_crash inj_hang inj_flaky =
     validate_patterns patterns;
     validate_seed seed;
     validate_timeout timeout;
     validate_retries retries;
     apply_runtime_opts ~domains ~no_cache;
+    (* Before the harness starts: experiment workers fork from this
+       process, so registrations are inherited by every experiment. *)
+    load_library_files libfiles;
     Jn.set_verbosity log_level;
     let entry = Experiments.Harness.entry in
     let budget ~degraded = if degraded then max 1 (patterns / 2) else patterns in
@@ -642,10 +671,11 @@ let all_cmd =
           result to the run manifest; --resume continues an interrupted \
           run, with a final pass/fail summary.")
     Term.(
-      const run $ patterns_arg $ seed_arg $ mode_arg $ only_arg $ with_blif_arg
-      $ timeout_arg $ retries_arg $ no_supervise_arg $ resume_arg
-      $ run_name_arg $ profile_arg $ log_level_arg $ domains_arg
-      $ no_cache_arg $ inject_crash_arg $ inject_hang_arg $ inject_flaky_arg)
+      const run $ library_file_arg $ patterns_arg $ seed_arg $ mode_arg
+      $ only_arg $ with_blif_arg $ timeout_arg $ retries_arg
+      $ no_supervise_arg $ resume_arg $ run_name_arg $ profile_arg
+      $ log_level_arg $ domains_arg $ no_cache_arg $ inject_crash_arg
+      $ inject_hang_arg $ inject_flaky_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `campaign`: the durable (circuit × library × seed) sweep runner.    *)
@@ -666,8 +696,8 @@ let campaign_cmd =
   in
   let library_arg =
     let doc =
-      "Restrict the sweep to the given libraries (repeatable); default all \
-       three."
+      "Restrict the sweep to the given libraries (repeatable); default \
+       every library, built-in or loaded."
     in
     Arg.(value & opt_all string [] & info [ "library" ] ~docv:"NAME" ~doc)
   in
@@ -737,9 +767,9 @@ let campaign_cmd =
       & opt (some int) None
       & info [ "inject-kill-after" ] ~docv:"N" ~doc)
   in
-  let run run_name only libs seeds_n patterns seed workers shard_timeout
-      max_attempts resume log_level domains no_cache inj_crash inj_flaky
-      inj_hang kill_after =
+  let run run_name only libs libfiles seeds_n patterns seed workers
+      shard_timeout max_attempts resume log_level domains no_cache inj_crash
+      inj_flaky inj_hang kill_after =
     validate_patterns patterns;
     validate_seed seed;
     validate_timeout shard_timeout;
@@ -764,13 +794,14 @@ let campaign_cmd =
           "--inject-kill-after must be >= 1 (got %d)" n
     | _ -> ());
     apply_runtime_opts ~domains ~no_cache;
+    load_library_files libfiles;
     Jn.set_verbosity log_level;
     let circuits =
       match only with [] -> Circuits.Suite.all | names -> List.map find_circuit names
     in
     let libraries =
       match libs with
-      | [] -> Cell.Genlib.all_libraries
+      | [] -> Cell.Genlib.libraries ()
       | names -> List.map find_library names
     in
     let seeds = List.init seeds_n (fun i -> Int64.add seed (Int64.of_int i)) in
@@ -844,8 +875,8 @@ let campaign_cmd =
           done. Results stream into the run manifest and telemetry \
           profile, so stats/trace/compare work mid-campaign.")
     Term.(
-      const run $ run_name_arg $ only_arg $ library_arg $ seeds_arg
-      $ patterns_arg $ seed_arg $ workers_arg $ shard_timeout_arg
+      const run $ run_name_arg $ only_arg $ library_arg $ library_file_arg
+      $ seeds_arg $ patterns_arg $ seed_arg $ workers_arg $ shard_timeout_arg
       $ max_attempts_arg $ resume_arg $ log_level_arg $ domains_arg
       $ no_cache_arg $ inject_crash_arg $ inject_flaky_arg $ inject_hang_arg
       $ inject_kill_after_arg)
@@ -1348,14 +1379,7 @@ let serve_admit ~allow_inject json =
     | Some l -> Ok l
     | None ->
         R.error
-          ~context:
-            [
-              ( "known",
-                String.concat ","
-                  (List.map
-                     (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name)
-                     Cell.Genlib.all_libraries) );
-            ]
+          ~context:[ ("known", String.concat "," (Cell.Genlib.library_names ())) ]
           R.Cli R.Validation_error "unknown library %S" lib_name
   in
   let* patterns =
@@ -1484,12 +1508,15 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "run" ] ~docv:"NAME" ~doc)
   in
-  let run socket workers queue max_bytes deadline drain breaker window
-      allow_inject run_name log_level domains no_cache =
+  let run socket libfiles workers queue max_bytes deadline drain breaker
+      window allow_inject run_name log_level domains no_cache =
     validate_timeout deadline;
     validate_timeout drain;
     validate_timeout window;
     apply_runtime_opts ~domains ~no_cache;
+    (* Before the daemon binds: request admission resolves library names
+       against the registry, and estimation workers fork from here. *)
+    load_library_files libfiles;
     Jn.set_verbosity log_level;
     let run_name =
       match run_name with
@@ -1564,10 +1591,10 @@ let serve_cmd =
           and graceful SIGTERM/SIGINT drain. Journal and telemetry land in \
           _runs/<run>/ for stats/trace/compare.")
     Term.(
-      const run $ socket_arg $ workers_arg $ queue_arg $ max_bytes_arg
-      $ deadline_arg $ drain_arg $ breaker_arg $ breaker_window_arg
-      $ allow_inject_arg $ run_name_arg $ log_level_arg $ domains_arg
-      $ no_cache_arg)
+      const run $ socket_arg $ library_file_arg $ workers_arg $ queue_arg
+      $ max_bytes_arg $ deadline_arg $ drain_arg $ breaker_arg
+      $ breaker_window_arg $ allow_inject_arg $ run_name_arg $ log_level_arg
+      $ domains_arg $ no_cache_arg)
 
 let request_cmd =
   let file_arg =
@@ -1579,7 +1606,10 @@ let request_cmd =
     Arg.(value & flag & info [ "health" ] ~doc)
   in
   let library_arg =
-    let doc = "Mapping library name (cntfet-generalized, cntfet-conventional, cmos)." in
+    let doc =
+      "Mapping library name (a built-in or one loaded by the daemon, see \
+       `cntpower library list`)."
+    in
     Arg.(
       value & opt string "cntfet-generalized" & info [ "library" ] ~docv:"NAME" ~doc)
   in
@@ -1718,6 +1748,139 @@ let request_cmd =
       $ req_patterns_arg $ seed_arg $ deadline_arg $ timeout_arg $ inject_arg
       $ req_retries_arg)
 
+(* ------------------------------------------------------------------ *)
+(* `library`: inspect, validate and export logic-family definitions.   *)
+
+let library_cmd =
+  let name_pos =
+    let doc = "Library name (see `cntpower library list`)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let origin_of lib =
+    let name = lib.Cell.Genlib.name in
+    let builtin =
+      List.exists
+        (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name = name)
+        Cell.Genlib.all_libraries
+    in
+    let registered =
+      List.exists
+        (fun (l : Cell.Genlib.t) -> l.Cell.Genlib.name = name)
+        (Cell.Genlib.registered ())
+    in
+    match (builtin, registered) with
+    | _, false -> "built-in"
+    | true, true -> "file (shadows built-in)"
+    | false, true -> "file"
+  in
+  let list_cmd =
+    (* Unlike the pipeline commands, a broken file on the search path is
+       not fatal here: list is the diagnostic surface, so per-file
+       outcomes are printed and the exit stays 0. Explicit --library-file
+       arguments are still load-or-die. *)
+    let run libfiles =
+      let discovered = Cell.Libfile.load_search_path () in
+      List.iter
+        (fun path ->
+          match Cell.Libfile.load path with
+          | Ok (_, warnings) ->
+              List.iter
+                (fun w -> Format.eprintf "cntpower: %s: %s@." path w)
+                warnings
+          | Result.Error e -> R.raise_error e)
+        libfiles;
+      List.iter
+        (fun lib ->
+          Format.fprintf std "%-24s %-24s %a@." lib.Cell.Genlib.name
+            (origin_of lib) Cell.Genlib.pp_summary lib)
+        (Cell.Genlib.libraries ());
+      List.iter
+        (fun (path, outcome) ->
+          match outcome with
+          | Ok ((lib : Cell.Genlib.t), _) ->
+              Format.fprintf std "# %s: loaded %s@." path lib.Cell.Genlib.name
+          | Result.Error e -> Format.fprintf std "# %s: BROKEN — %a@." path R.pp e)
+        discovered;
+      0
+    in
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:
+           "List every resolvable library — built-ins, $(b,CNTPOWER_LIBPATH) \
+            discoveries (broken files are reported, not fatal) and explicit \
+            --library-file loads — with origin and summary.")
+      Term.(const run $ library_file_arg)
+  in
+  let show_cmd =
+    let run libfiles name =
+      load_library_files libfiles;
+      let lib = find_library name in
+      Format.fprintf std "# %s [%s]@.# %a@.%s@." lib.Cell.Genlib.name
+        (origin_of lib) Cell.Genlib.pp_summary lib
+        (Cell.Genlib.to_genlib_string lib);
+      0
+    in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Print one library's summary and its genlib rendering (resolves \
+            data files exactly like the pipeline commands).")
+      Term.(const run $ library_file_arg $ name_pos)
+  in
+  let validate_cmd =
+    let file_pos =
+      let doc = "Logic-family file (genlib-plus) to parse and validate." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let run file =
+      match Cell.Libfile.load_file file with
+      | Ok lib ->
+          Format.fprintf std "%s: OK — %a@." file Cell.Genlib.pp_summary lib;
+          0
+      | Result.Error e -> R.raise_error e
+    in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:
+           "Parse and fully validate one logic-family file without \
+            registering it. Exit 0 when the file would load; otherwise the \
+            typed error's code (12 syntax, 13 semantics, 24 unreadable) \
+            with file/line context.")
+      Term.(const run $ file_pos)
+  in
+  let export_cmd =
+    let out_arg =
+      let doc = "Write to $(docv) instead of stdout." in
+      Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+    in
+    let run libfiles name out =
+      load_library_files libfiles;
+      let lib = find_library name in
+      let text = Cell.Libfile.export lib in
+      (match out with
+      | None -> print_string text
+      | Some path -> (
+          try Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+          with Sys_error m ->
+            R.failf ~context:[ ("file", path) ] R.Library R.Io_error "%s" m));
+      0
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Render a library as a canonical genlib-plus file — the format \
+            `--library-file` loads. The committed data/libraries/*.genlibp \
+            copies of the built-ins are exactly this output.")
+      Term.(const run $ library_file_arg $ name_pos $ out_arg)
+  in
+  Cmd.group
+    (Cmd.info "library"
+       ~doc:
+         "Inspect, validate and export logic-family definitions: the three \
+          built-ins plus genlib-plus data files loaded via --library-file \
+          or $(b,CNTPOWER_LIBPATH).")
+    [ list_cmd; show_cmd; validate_cmd; export_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "cntpower" ~version:"1.1.0"
@@ -1728,7 +1891,7 @@ let main =
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
       check_cmd; all_cmd; campaign_cmd; golden_cmd; stats_cmd; trace_cmd;
-      compare_cmd; serve_cmd; request_cmd;
+      compare_cmd; serve_cmd; request_cmd; library_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

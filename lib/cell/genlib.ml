@@ -48,8 +48,43 @@ let cmos = make "cmos" T.cmos Static Cells.conventional
 
 let all_libraries = [ generalized_cntfet; conventional_cntfet; cmos ]
 
+(* Data-file families (Libfile) land here. A registered library shadows a
+   built-in (or an earlier registration) of the same name: explicit data
+   beats compiled-in defaults, and re-loading a file is idempotent. *)
+type origin = Builtin | Registered
+
+let registered_libs : t list ref = ref []
+
+let register lib =
+  let shadowed =
+    if List.exists (fun l -> l.name = lib.name) all_libraries then Some Builtin
+    else if List.exists (fun l -> l.name = lib.name) !registered_libs then
+      Some Registered
+    else None
+  in
+  registered_libs :=
+    List.filter (fun l -> l.name <> lib.name) !registered_libs @ [ lib ];
+  shadowed
+
+let registered () = !registered_libs
+let reset_registry () = registered_libs := []
+
+let libraries () =
+  let reg = !registered_libs in
+  let shadow l =
+    match List.find_opt (fun r -> r.name = l.name) reg with
+    | Some r -> r
+    | None -> l
+  in
+  List.map shadow all_libraries
+  @ List.filter
+      (fun r -> not (List.exists (fun l -> l.name = r.name) all_libraries))
+      reg
+
+let library_names () = List.map (fun t -> t.name) (libraries ())
+
 let find_library name =
-  List.find_opt (fun t -> t.name = name) all_libraries
+  List.find_opt (fun t -> t.name = name) (libraries ())
 
 let find_gate t name = List.find (fun g -> g.cell.Cells.name = name) t.gates
 

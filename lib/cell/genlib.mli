@@ -35,11 +35,42 @@ val cmos : t
 (** Conventional cells only, static realizations, 32 nm bulk CMOS corner. *)
 
 val all_libraries : t list
+(** The three built-in families, in Table 1 column order. *)
+
+(** {1 Registry}
+
+    Families defined as data files ({!Libfile}) register here and become
+    indistinguishable from built-ins to every consumer that resolves
+    through {!find_library} / {!libraries} — the CLI, the serve protocol,
+    campaigns and Table 1. *)
+
+type origin = Builtin | Registered
+
+val register : t -> origin option
+(** Register (or re-register) a library under its [name]. Returns what the
+    registration shadowed, if anything: [Some Builtin] when the name
+    collides with a built-in (callers should warn — explicit data wins),
+    [Some Registered] when it replaces an earlier registration (idempotent
+    re-load), [None] for a fresh name. *)
+
+val registered : unit -> t list
+(** Registered libraries, registration order. *)
+
+val reset_registry : unit -> unit
+(** Drop all registrations (tests). *)
+
+val libraries : unit -> t list
+(** The resolution view: built-ins (each shadowed by a same-named
+    registration when present) followed by the remaining registered
+    families in registration order. *)
+
+val library_names : unit -> string list
 
 val find_library : string -> t option
-(** Look up a built-in library by its [name] field
-    (["cntfet-generalized"], ["cntfet-conventional"], ["cmos"]); the
-    string form used by the CLI and the [cntpower serve] protocol. *)
+(** Look up a library by its [name] field in {!libraries} — built-ins
+    (["cntfet-generalized"], ["cntfet-conventional"], ["cmos"]) plus
+    registered data files; the string form used by the CLI and the
+    [cntpower serve] protocol. *)
 
 val find_gate : t -> string -> gate
 
@@ -57,6 +88,11 @@ val to_genlib_string : t -> string
 (** Render in SIS/ABC genlib syntax (for documentation and interop). *)
 
 exception Parse_error of string
+
+val parse_formula : string -> (char -> int) -> Logic.Expr.t
+(** Parse one genlib formula ([*] [+] [^] [!] with the usual precedence,
+    parentheses, pins [A]..[Z] mapped through the index function, [0]/[1]
+    constants). Raises {!Parse_error}. Shared with the {!Libfile} parser. *)
 
 val parse_genlib : string -> (string * float * Logic.Expr.t * float) list
 (** Parse genlib text into (gate name, area, function over pins named

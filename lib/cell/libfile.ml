@@ -1,0 +1,651 @@
+module R = Runtime.Cnt_error
+module T = Spice.Tech
+module G = Genlib
+module E = Logic.Expr
+module N = Network
+
+let extension = ".genlibp"
+let libpath_env = "CNTPOWER_LIBPATH"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical float text: the shortest decimal that parses back to the
+   exact same double. This is what makes export/load round-trips
+   byte-stable — "2.4e-12" stays "2.4e-12", not a 17-digit expansion. *)
+
+let float_repr f =
+  (* Integral values (areas, loads) read better as plain integers than as
+     the %g shortest form ("10", not "1e+01"). *)
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else
+    let rec go p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else go (p + 1)
+    in
+    go 1
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pin_name i = String.make 1 (Char.chr (Char.code 'A' + i))
+
+let render_signal b (s : N.signal) =
+  if s.N.inverted then Buffer.add_char b '!';
+  Buffer.add_string b (pin_name s.N.pin)
+
+let rec render_net b = function
+  | N.Dev (N.Fixed_n s) ->
+      Buffer.add_string b "n(";
+      render_signal b s;
+      Buffer.add_char b ')'
+  | N.Dev (N.Fixed_p s) ->
+      Buffer.add_string b "p(";
+      render_signal b s;
+      Buffer.add_char b ')'
+  | N.Dev (N.Tgate (s1, s2)) ->
+      Buffer.add_string b "tg(";
+      render_signal b s1;
+      Buffer.add_char b ',';
+      render_signal b s2;
+      Buffer.add_char b ')'
+  | N.Ser parts -> render_parts b "ser" parts
+  | N.Par parts -> render_parts b "par" parts
+
+and render_parts b kw parts =
+  Buffer.add_string b kw;
+  Buffer.add_char b '(';
+  List.iteri
+    (fun i part ->
+      if i > 0 then Buffer.add_char b ',';
+      render_net b part)
+    parts;
+  Buffer.add_char b ')'
+
+let tech_keys (t : T.t) =
+  [
+    ("VDD", t.T.vdd);
+    ("TEMPVT", t.T.temp_vt);
+    ("VTHN", t.T.vth_n);
+    ("VTHP", t.T.vth_p);
+    ("SS", t.T.ss_factor);
+    ("SAT", t.T.sat_exponent);
+    ("ISPEC", t.T.ispec);
+    ("IOFF", t.T.ioff_unit);
+    ("IGON", t.T.ig_on_unit);
+    ("IGOFF", t.T.ig_off_unit);
+    ("CGATE", t.T.c_gate);
+    ("CDRAIN", t.T.c_drain);
+    ("TAU", t.T.tau);
+  ]
+
+let export (lib : G.t) =
+  let b = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "# genlib-plus v1";
+  line "LIBRARY %s" lib.G.name;
+  line "STYLE %s"
+    (match lib.G.style with G.Ambipolar -> "ambipolar" | G.Static -> "static");
+  line "TECH %s" (Format.asprintf "%a" T.pp_family lib.G.tech.T.family);
+  List.iter (fun (k, v) -> line "  %s %s" k (float_repr v)) (tech_keys lib.G.tech);
+  List.iter
+    (fun (g : G.gate) ->
+      line "";
+      line "GATE %s %d %s O=%s;" g.G.cell.Cells.name g.G.cell.Cells.pins
+        (float_repr g.G.area)
+        (Format.asprintf "%a" (E.pp_named pin_name) g.G.cell.Cells.expr);
+      Buffer.add_string b "  PU ";
+      render_net b g.G.impl.N.pull_up;
+      Buffer.add_char b '\n';
+      Buffer.add_string b "  PD ";
+      render_net b g.G.impl.N.pull_down;
+      Buffer.add_char b '\n';
+      line "  OUTINV %d" (if g.G.impl.N.output_inverter then 1 else 0);
+      line "  DELAY %s" (float_repr g.G.delay);
+      line "  INCAP %s"
+        (String.concat " "
+           (Array.to_list (Array.map float_repr g.G.input_caps)));
+      line "  DRAINCAP %s" (float_repr g.G.output_drain_cap);
+      line "END")
+    lib.G.gates;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Err of R.t
+
+let fail_at ?path ~line code fmt =
+  Format.kasprintf
+    (fun message ->
+      let context =
+        (match path with None -> [] | Some p -> [ ("file", p) ])
+        @ [ ("line", string_of_int line) ]
+      in
+      raise (Err (R.make ~context R.Library code message)))
+    fmt
+
+(* The matchlib index covers functions of up to 6 pins
+   (Techmap.Matchlib.max_pins); a wider gate could never be matched. *)
+let max_gate_pins = 6
+
+(* A network over [pins] pins: n(A) / p(!B) / tg(A,!B) devices under
+   ser(...) / par(...); spaces are insignificant. *)
+let parse_network ?path ~line ~pins text =
+  let fail fmt = fail_at ?path ~line R.Parse_error fmt in
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let adv () = incr pos in
+  let skip_ws () =
+    while !pos < n && (text.[!pos] = ' ' || text.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> adv ()
+    | Some d -> fail "expected %C in network, found %C" c d
+    | None -> fail "expected %C in network, found end of line" c
+  in
+  let parse_signal () =
+    skip_ws ();
+    let inverted =
+      match peek () with
+      | Some '!' ->
+          adv ();
+          true
+      | _ -> false
+    in
+    match peek () with
+    | Some c when c >= 'A' && c <= 'Z' ->
+        adv ();
+        let pin = Char.code c - Char.code 'A' in
+        if pin >= pins then
+          fail "pin %c out of range (gate has %d pin%s)" c pins
+            (if pins = 1 then "" else "s");
+        { N.pin; inverted }
+    | Some c -> fail "expected a pin letter in network, found %C" c
+    | None -> fail "expected a pin letter in network, found end of line"
+  in
+  let keyword () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      let c = text.[!pos] in
+      c >= 'a' && c <= 'z'
+    do
+      incr pos
+    done;
+    String.sub text start (!pos - start)
+  in
+  let rec parse_net () =
+    match keyword () with
+    | "n" ->
+        expect '(';
+        let s = parse_signal () in
+        expect ')';
+        N.Dev (N.Fixed_n s)
+    | "p" ->
+        expect '(';
+        let s = parse_signal () in
+        expect ')';
+        N.Dev (N.Fixed_p s)
+    | "tg" ->
+        expect '(';
+        let s1 = parse_signal () in
+        expect ',';
+        let s2 = parse_signal () in
+        expect ')';
+        N.Dev (N.Tgate (s1, s2))
+    | "ser" -> N.Ser (parse_list ())
+    | "par" -> N.Par (parse_list ())
+    | "" -> fail "expected n/p/tg/ser/par in network"
+    | kw -> fail "unknown network element %S (want n/p/tg/ser/par)" kw
+  and parse_list () =
+    expect '(';
+    let rec items acc =
+      let x = parse_net () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          adv ();
+          items (x :: acc)
+      | Some ')' ->
+          adv ();
+          List.rev (x :: acc)
+      | Some c -> fail "expected ',' or ')' in network, found %C" c
+      | None -> fail "unterminated ser/par in network"
+    in
+    items []
+  in
+  let net = parse_net () in
+  skip_ws ();
+  (match peek () with
+  | None -> ()
+  | Some c -> fail "trailing %C after network" c);
+  net
+
+let rec has_tgate = function
+  | N.Dev (N.Tgate _) -> true
+  | N.Dev _ -> false
+  | N.Ser parts | N.Par parts -> List.exists has_tgate parts
+
+(* Partially assembled GATE block. *)
+type pgate = {
+  g_line : int;
+  g_name : string;
+  g_pins : int;
+  g_area : float;
+  g_expr : E.t;
+  mutable g_pu : N.network option;
+  mutable g_pd : N.network option;
+  mutable g_outinv : bool option;
+  mutable g_delay : float option;
+  mutable g_incap : float array option;
+  mutable g_drain : float option;
+}
+
+type state = Top | In_tech | In_gate of pgate
+
+let base_corner ?path ~line = function
+  | "cmos-32nm" -> T.cmos
+  | "cntfet-32nm" -> T.cntfet
+  | other ->
+      fail_at ?path ~line R.Parse_error
+        "unknown TECH base corner %S (cmos-32nm or cntfet-32nm)" other
+
+let set_tech_key (t : T.t) key v =
+  match key with
+  | "VDD" -> Some { t with T.vdd = v }
+  | "TEMPVT" -> Some { t with T.temp_vt = v }
+  | "VTHN" -> Some { t with T.vth_n = v }
+  | "VTHP" -> Some { t with T.vth_p = v }
+  | "SS" -> Some { t with T.ss_factor = v }
+  | "SAT" -> Some { t with T.sat_exponent = v }
+  | "ISPEC" -> Some { t with T.ispec = v }
+  | "IOFF" -> Some { t with T.ioff_unit = v }
+  | "IGON" -> Some { t with T.ig_on_unit = v }
+  | "IGOFF" -> Some { t with T.ig_off_unit = v }
+  | "CGATE" -> Some { t with T.c_gate = v }
+  | "CDRAIN" -> Some { t with T.c_drain = v }
+  | "TAU" -> Some { t with T.tau = v }
+  | _ -> None
+
+let parse_exn ?path text =
+  let lib_name = ref None in
+  let style = ref None in
+  let tech = ref None in
+  let ispec_explicit = ref false in
+  let tech_line = ref 0 in
+  let gates : (int * G.gate) list ref = ref [] in
+  let state = ref Top in
+  let finish_tech () =
+    (* An ISPEC-less corner is stated by its measurable off-current; derive
+       the EKV specific current from the final field values, exactly as
+       Tech.make does for the built-ins. *)
+    match !tech with
+    | Some t when not !ispec_explicit ->
+        tech :=
+          Some
+            {
+              t with
+              T.ispec =
+                T.derive_ispec ~n:t.T.ss_factor ~alpha:t.T.sat_exponent
+                  ~vth:t.T.vth_n ~vt:t.T.temp_vt ~vdd:t.T.vdd t.T.ioff_unit;
+            }
+    | _ -> ()
+  in
+  let num ~line what s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v -> v
+    | Some _ ->
+        fail_at ?path ~line R.Parse_error "%s must be finite, got %s" what s
+    | None -> fail_at ?path ~line R.Parse_error "bad %s %S" what s
+  in
+  let positive ~line what v =
+    if not (Float.is_finite v && v > 0.0) then
+      fail_at ?path ~line R.Validation_error
+        "%s must be positive and finite (got %s)" what (float_repr v)
+  in
+  let finish_gate ~line (pg : pgate) =
+    let fail fmt = fail_at ?path ~line R.Parse_error fmt in
+    let fail_v fmt = fail_at ?path ~line R.Validation_error fmt in
+    let missing =
+      List.filter_map
+        (fun (k, present) -> if present then None else Some k)
+        [
+          ("PU", pg.g_pu <> None);
+          ("PD", pg.g_pd <> None);
+          ("OUTINV", pg.g_outinv <> None);
+          ("DELAY", pg.g_delay <> None);
+          ("INCAP", pg.g_incap <> None);
+          ("DRAINCAP", pg.g_drain <> None);
+        ]
+    in
+    if missing <> [] then
+      fail "GATE %s is missing %s" pg.g_name (String.concat ", " missing);
+    let cell =
+      match Cells.find pg.g_name with
+      | c -> c
+      | exception Not_found ->
+          fail_v "unknown cell %S: every gate must name a cell of the catalog"
+            pg.g_name
+    in
+    if cell.Cells.pins <> pg.g_pins then
+      fail_v "GATE %s declares %d pins but cell %s has %d" pg.g_name pg.g_pins
+        cell.Cells.name cell.Cells.pins;
+    let tt = Cells.tt cell in
+    if not (Logic.Truthtable.equal (E.to_tt pg.g_pins pg.g_expr) tt) then
+      fail_v "GATE %s formula does not compute the %s function" pg.g_name
+        cell.Cells.name;
+    let impl =
+      {
+        N.pull_up = Option.get pg.g_pu;
+        pull_down = Option.get pg.g_pd;
+        output_inverter = Option.get pg.g_outinv;
+      }
+    in
+    (match !style with
+    | Some G.Static
+      when has_tgate impl.N.pull_up || has_tgate impl.N.pull_down ->
+        fail_v
+          "GATE %s uses a transmission gate; tg(..) requires STYLE ambipolar"
+          pg.g_name
+    | _ -> ());
+    let realized =
+      match N.impl_function impl pg.g_pins with
+      | f -> f
+      | exception Failure msg ->
+          fail_v "GATE %s PU/PD networks are not complementary: %s" pg.g_name
+            msg
+    in
+    if not (Logic.Truthtable.equal realized tt) then
+      fail_v "GATE %s topology does not realize the %s function" pg.g_name
+        cell.Cells.name;
+    let incap = Option.get pg.g_incap in
+    if Array.length incap <> pg.g_pins then
+      fail_v "GATE %s INCAP lists %d value(s) for %d pin(s)" pg.g_name
+        (Array.length incap) pg.g_pins;
+    Array.iteri
+      (fun i c ->
+        positive ~line
+          (Printf.sprintf "INCAP %s of GATE %s" (pin_name i) pg.g_name)
+          c)
+      incap;
+    positive ~line (Printf.sprintf "area of GATE %s" pg.g_name) pg.g_area;
+    positive ~line
+      (Printf.sprintf "DELAY of GATE %s" pg.g_name)
+      (Option.get pg.g_delay);
+    positive ~line
+      (Printf.sprintf "DRAINCAP of GATE %s" pg.g_name)
+      (Option.get pg.g_drain);
+    (match
+       List.find_opt
+         (fun (_, (g : G.gate)) -> g.G.cell.Cells.name = pg.g_name)
+         !gates
+     with
+    | Some (prev_line, _) ->
+        fail_v "duplicate GATE %s (first defined at line %d)" pg.g_name
+          prev_line
+    | None -> ());
+    let tech =
+      match !tech with
+      | Some t -> t
+      | None -> fail "GATE %s before any TECH block" pg.g_name
+    in
+    let g =
+      {
+        G.cell;
+        impl;
+        tech;
+        area = pg.g_area;
+        delay = Option.get pg.g_delay;
+        input_caps = incap;
+        output_drain_cap = Option.get pg.g_drain;
+      }
+    in
+    gates := !gates @ [ (pg.g_line, g) ]
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      let fail fmt = fail_at ?path ~line:ln R.Parse_error fmt in
+      let body =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let tokens =
+        String.map (function '\t' -> ' ' | c -> c) body
+        |> String.split_on_char ' '
+        |> List.filter (fun w -> w <> "")
+      in
+      match tokens with
+      | [] -> ()
+      | kw :: rest -> (
+          if !lib_name = None && kw <> "LIBRARY" then
+            fail "expected LIBRARY as the first statement, found %s" kw;
+          match kw with
+          | "LIBRARY" -> (
+              if !lib_name <> None then fail "duplicate LIBRARY statement";
+              match rest with
+              | [ name ] -> lib_name := Some name
+              | _ -> fail "LIBRARY wants exactly one name")
+          | "STYLE" -> (
+              state := Top;
+              if !style <> None then fail "duplicate STYLE statement";
+              match rest with
+              | [ "ambipolar" ] -> style := Some G.Ambipolar
+              | [ "static" ] -> style := Some G.Static
+              | _ -> fail "STYLE must be ambipolar or static")
+          | "TECH" -> (
+              if !tech <> None then fail "duplicate TECH block";
+              match rest with
+              | [ base ] ->
+                  tech := Some (base_corner ?path ~line:ln base);
+                  ispec_explicit := false;
+                  tech_line := ln;
+                  state := In_tech
+              | _ -> fail "TECH wants exactly one base corner name")
+          | "GATE" -> (
+              (match !state with
+              | In_gate pg ->
+                  fail "GATE %s at line %d is missing END" pg.g_name pg.g_line
+              | In_tech | Top -> ());
+              finish_tech ();
+              (match (!style, !tech) with
+              | None, _ -> fail "GATE before the STYLE statement"
+              | _, None -> fail "GATE before the TECH block"
+              | Some _, Some _ -> ());
+              match rest with
+              | name :: pins :: area :: formula_parts ->
+                  let pins_n =
+                    match int_of_string_opt pins with
+                    | Some p when p >= 1 && p <= max_gate_pins -> p
+                    | Some p ->
+                        fail "GATE %s pin count %d out of range [1, %d]" name p
+                          max_gate_pins
+                    | None -> fail "bad pin count %S" pins
+                  in
+                  let area_v = num ~line:ln "area" area in
+                  let formula = String.concat " " formula_parts in
+                  let formula =
+                    match
+                      ( String.length formula >= 2 && String.sub formula 0 2 = "O=",
+                        String.length formula >= 1
+                        && formula.[String.length formula - 1] = ';' )
+                    with
+                    | true, true ->
+                        String.sub formula 2 (String.length formula - 3)
+                    | false, _ -> fail "GATE %s formula must start with O=" name
+                    | _, false -> fail "GATE %s formula must end with ';'" name
+                  in
+                  let pin_index c =
+                    let i = Char.code c - Char.code 'A' in
+                    if i >= pins_n then
+                      raise
+                        (G.Parse_error
+                           (Printf.sprintf "pin %c out of range (gate has %d pin(s))" c
+                              pins_n));
+                    i
+                  in
+                  let expr =
+                    match G.parse_formula formula pin_index with
+                    | e -> e
+                    | exception G.Parse_error msg ->
+                        fail "GATE %s formula: %s" name msg
+                  in
+                  state :=
+                    In_gate
+                      {
+                        g_line = ln;
+                        g_name = name;
+                        g_pins = pins_n;
+                        g_area = area_v;
+                        g_expr = expr;
+                        g_pu = None;
+                        g_pd = None;
+                        g_outinv = None;
+                        g_delay = None;
+                        g_incap = None;
+                        g_drain = None;
+                      }
+              | _ -> fail "GATE wants: GATE <name> <pins> <area> O=<formula>;")
+          | _ -> (
+              match !state with
+              | In_tech -> (
+                  match rest with
+                  | [ v ] -> (
+                      let v = num ~line:ln (Printf.sprintf "TECH %s" kw) v in
+                      match set_tech_key (Option.get !tech) kw v with
+                      | Some t ->
+                          tech := Some t;
+                          if kw = "ISPEC" then ispec_explicit := true
+                      | None -> fail "unknown TECH key %S" kw)
+                  | _ -> fail "TECH key %s wants exactly one value" kw)
+              | In_gate pg -> (
+                  let dup what present =
+                    if present then fail "duplicate %s in GATE %s" what pg.g_name
+                  in
+                  match (kw, rest) with
+                  | "PU", _ ->
+                      dup "PU" (pg.g_pu <> None);
+                      pg.g_pu <-
+                        Some
+                          (parse_network ?path ~line:ln ~pins:pg.g_pins
+                             (String.concat " " rest))
+                  | "PD", _ ->
+                      dup "PD" (pg.g_pd <> None);
+                      pg.g_pd <-
+                        Some
+                          (parse_network ?path ~line:ln ~pins:pg.g_pins
+                             (String.concat " " rest))
+                  | "OUTINV", [ v ] ->
+                      dup "OUTINV" (pg.g_outinv <> None);
+                      pg.g_outinv <-
+                        Some
+                          (match v with
+                          | "0" -> false
+                          | "1" -> true
+                          | _ -> fail "OUTINV must be 0 or 1, got %S" v)
+                  | "DELAY", [ v ] ->
+                      dup "DELAY" (pg.g_delay <> None);
+                      pg.g_delay <- Some (num ~line:ln "DELAY" v)
+                  | "INCAP", (_ :: _ as vs) ->
+                      dup "INCAP" (pg.g_incap <> None);
+                      pg.g_incap <-
+                        Some
+                          (Array.of_list
+                             (List.map (num ~line:ln "INCAP value") vs))
+                  | "DRAINCAP", [ v ] ->
+                      dup "DRAINCAP" (pg.g_drain <> None);
+                      pg.g_drain <- Some (num ~line:ln "DRAINCAP" v)
+                  | "END", [] ->
+                      finish_gate ~line:ln pg;
+                      state := Top
+                  | ("OUTINV" | "DELAY" | "DRAINCAP" | "END" | "INCAP"), _ ->
+                      fail "malformed %s line in GATE %s" kw pg.g_name
+                  | _ ->
+                      fail "unrecognized line %S inside GATE %s" kw pg.g_name)
+              | Top -> fail "unrecognized statement %S" kw)))
+    lines;
+  let eof = List.length lines in
+  let fail fmt = fail_at ?path ~line:eof R.Parse_error fmt in
+  let fail_v fmt = fail_at ?path ~line:eof R.Validation_error fmt in
+  (match !state with
+  | In_gate pg ->
+      fail "file truncated: GATE %s at line %d has no END" pg.g_name pg.g_line
+  | In_tech | Top -> ());
+  finish_tech ();
+  let name =
+    match !lib_name with
+    | Some n -> n
+    | None -> fail "missing LIBRARY statement"
+  in
+  let style =
+    match !style with Some s -> s | None -> fail "missing STYLE statement"
+  in
+  let tech =
+    match !tech with Some t -> t | None -> fail "missing TECH block"
+  in
+  (match T.validate tech with
+  | Ok _ -> ()
+  | Result.Error e ->
+      fail_at ?path ~line:!tech_line R.Validation_error "invalid TECH corner: %s"
+        e.R.message);
+  let gates = List.map snd !gates in
+  if not (List.exists (fun (g : G.gate) -> g.G.cell.Cells.name = "INV") gates)
+  then
+    fail_v
+      "library %s does not define INV (matching and characterization need it)"
+      name;
+  { G.name; tech; style; gates }
+
+let parse ?path text =
+  match parse_exn ?path text with
+  | lib -> Ok lib
+  | exception Err e -> Result.Error e
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m ->
+      R.error ~context:[ ("file", path) ] R.Library R.Io_error "%s" m
+  | text -> parse ~path text
+
+let register (lib : G.t) =
+  match G.register lib with
+  | Some G.Builtin ->
+      [
+        Printf.sprintf
+          "library %S shadows the built-in library of the same name"
+          lib.G.name;
+      ]
+  | Some G.Registered ->
+      [ Printf.sprintf "library %S replaces an earlier registration" lib.G.name ]
+  | None -> []
+
+let load path =
+  Result.map (fun lib -> (lib, register lib)) (load_file path)
+
+let discover () =
+  match Sys.getenv_opt libpath_env with
+  | None | Some "" -> []
+  | Some path ->
+      String.split_on_char ':' path
+      |> List.concat_map (fun dir ->
+             if dir = "" then []
+             else
+               match Sys.readdir dir with
+               | exception Sys_error _ -> []
+               | files ->
+                   Array.to_list files
+                   |> List.filter (fun f -> Filename.check_suffix f extension)
+                   |> List.sort compare
+                   |> List.map (Filename.concat dir))
+
+let load_search_path () = List.map (fun p -> (p, load p)) (discover ())

@@ -1,0 +1,86 @@
+(** Declarative logic-family files ("genlib-plus"): a complete mapping
+    library — technology corner, style, and per-gate records (function,
+    transistor-level topology, area, pin delay, per-pin input caps, drain
+    cap) — as a text file, so a new family is data, not OCaml.
+
+    The format is a line-oriented superset of the information
+    {!Genlib.to_genlib_string} renders:
+
+    {v
+    # comments start with '#'
+    LIBRARY <name>
+    STYLE ambipolar | static
+    TECH cmos-32nm | cntfet-32nm     # base corner; keys below override it
+      VDD 0.9        TEMPVT 0.02585  # (one key per line)
+      VTHN 0.3       VTHP 0.3
+      SS 1.1         SAT 1.65
+      ISPEC 1.2e-9                   # omit to re-derive from IOFF
+      IOFF 1e-10     IGON 4e-13     IGOFF 4e-14
+      CGATE 1.8e-17  CDRAIN 1.8e-17 TAU 2.4e-12
+    GATE <name> <pins> <area> O=<formula>;
+      PU <network>                   # pull-up, conducts when output is 1
+      PD <network>                   # pull-down
+      OUTINV 0|1                     # networks compute the complement
+      DELAY <seconds>
+      INCAP <F> ... <F>              # one per pin
+      DRAINCAP <F>
+    END
+    v}
+
+    Formulas use the genlib operators over pins [A..] ({!Genlib.parse_formula});
+    networks are [n(A)] / [p(!B)] / [tg(A,!B)] devices under [ser(...)] /
+    [par(...)] combinators, mirroring {!Network.network}.
+
+    The parser is line-numbered: every syntax error is a typed
+    [library/parse-error] carrying [file] and [line] context. Loading also
+    validates semantics ([library/validation-error]): every gate must name a
+    cell of the {!Cells} catalog with matching pin count, its formula and its
+    PU/PD topology must both realize that cell's truth table (complementarity
+    included), areas/delays/capacitances must be finite and positive, gate
+    names must be unique, transmission gates require [STYLE ambipolar], the
+    corner must pass {!Spice.Tech.validate}, and the library must define
+    [INV] (the match library and characterization need it). A library that
+    loads is therefore safe for the whole pipeline.
+
+    {!export} renders any {!Genlib.t} canonically (shortest float
+    representations that round-trip exactly), so
+    [export (parse (export lib)) = export lib] byte for byte — the property
+    that pins the committed [data/libraries/*.genlibp] files to the
+    built-ins they were exported from. *)
+
+val extension : string
+(** [".genlibp"] — what {!discover} looks for. *)
+
+val libpath_env : string
+(** ["CNTPOWER_LIBPATH"] — colon-separated directories scanned by
+    {!discover}. *)
+
+val parse : ?path:string -> string -> (Genlib.t, Runtime.Cnt_error.t) result
+(** Parse and validate one library from text. [path] only labels error
+    context. Does not touch the registry. *)
+
+val load_file : string -> (Genlib.t, Runtime.Cnt_error.t) result
+(** Read, parse and validate a file ([library/io-error] when unreadable).
+    Does not touch the registry. *)
+
+val export : Genlib.t -> string
+(** Canonical text rendering; see the round-trip property above. *)
+
+val register : Genlib.t -> string list
+(** Register with {!Genlib.register}; the returned warnings (shadowing a
+    built-in or replacing an earlier registration) are for the caller to
+    surface — this module never prints. *)
+
+val load : string -> (Genlib.t * string list, Runtime.Cnt_error.t) result
+(** [load_file] followed by {!register}: the library becomes resolvable by
+    name everywhere. Returns the registration warnings. *)
+
+val discover : unit -> string list
+(** The [*.genlibp] files on the {!libpath_env} search path, in path order
+    (files within one directory sorted by name). Unset or empty entries are
+    skipped silently; unreadable directories are skipped too (a missing
+    search-path entry is not an error, a broken file is — at {!load} time). *)
+
+val load_search_path :
+  unit -> (string * (Genlib.t * string list, Runtime.Cnt_error.t) result) list
+(** {!load} every discovered file, keeping per-file outcomes. *)

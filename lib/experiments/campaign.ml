@@ -45,7 +45,7 @@ let default_config ~campaign =
     campaign;
     runs_dir = "_runs";
     circuits = Circuits.Suite.all;
-    libraries = G.all_libraries;
+    libraries = G.libraries ();
     seeds = [ 42L ];
     patterns = Est.default_patterns;
     workers = 4;

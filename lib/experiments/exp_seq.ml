@@ -8,7 +8,7 @@ let run ?(data_width = 8) ?(cycles = 10_000) () =
       let ml = Techmap.Matchlib.build lib in
       let seq = Circuits.Crc.generate ~data_width () in
       { library = lib.Cell.Genlib.name; report = S.estimate ~cycles ml seq })
-    Cell.Genlib.all_libraries
+    (Cell.Genlib.libraries ())
 
 let print ppf rows =
   Report.render ppf

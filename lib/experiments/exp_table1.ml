@@ -13,7 +13,7 @@ type summary = {
 module T = Runtime.Telemetry
 
 let run ?(patterns = E.default_patterns) ?(seed = 42L) ?(circuits = Circuits.Suite.all) ?(verify = true) () =
-  let matchlibs = List.map (fun lib -> (lib, Techmap.Matchlib.build lib)) G.all_libraries in
+  let matchlibs = List.map (fun lib -> (lib, Techmap.Matchlib.build lib)) (G.libraries ()) in
   let rows =
     List.map
       (fun (entry : Circuits.Suite.entry) ->

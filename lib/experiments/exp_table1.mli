@@ -11,7 +11,8 @@ type row = {
   name : string;
   description : string;
   results : (string * Techmap.Estimate.report) list;
-      (** keyed by library name, in {!Cell.Genlib.all_libraries} order *)
+      (** keyed by library name, in {!Cell.Genlib.libraries} order
+          (built-ins in Table 1 column order, then registered families) *)
 }
 
 type summary = {

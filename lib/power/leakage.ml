@@ -3,8 +3,21 @@ module D = Spice.Device
 module T = Spice.Tech
 
 (* The key captures every tech field the DC solve depends on, so derived
-   corners (other supplies, temperatures, threshold shifts) do not collide. *)
-type key = { family : T.family; vdd : float; vt : float; vth : float; pattern : Pattern.t }
+   corners (other supplies, temperatures, threshold shifts) and data-file
+   corners (which can override slope, saturation exponent or specific
+   current while keeping family/vdd/vth — see Cell.Libfile) do not
+   collide. [ss], [sat] and [ispec] matter because [solve_pattern] builds
+   unit n-devices straight from the corner record. *)
+type key = {
+  family : T.family;
+  vdd : float;
+  vt : float;
+  vth : float;
+  ss : float;
+  sat : float;
+  ispec : float;
+  pattern : Pattern.t;
+}
 
 let cache : (key, float) Hashtbl.t = Hashtbl.create 64
 let hits = ref 0
@@ -13,7 +26,7 @@ let misses = ref 0
 (* Persistent layer: the whole table marshals to one Diskcache artifact.
    Off by default so measurements of solver work (exp_patterns' golden
    dc_solves) stay cold; the CLI turns it on for pipeline runs. *)
-let solver_version = 1
+let solver_version = 2
 let persistent_flag = ref false
 let loaded = ref false
 let dirty = ref false
@@ -108,7 +121,16 @@ let solve_pattern tech pattern =
 let pattern_ioff tech pattern =
   load_if_needed ();
   let key =
-    { family = tech.T.family; vdd = tech.T.vdd; vt = tech.T.temp_vt; vth = tech.T.vth_n; pattern }
+    {
+      family = tech.T.family;
+      vdd = tech.T.vdd;
+      vt = tech.T.temp_vt;
+      vth = tech.T.vth_n;
+      ss = tech.T.ss_factor;
+      sat = tech.T.sat_exponent;
+      ispec = tech.T.ispec;
+      pattern;
+    }
   in
   match Hashtbl.find_opt cache key with
   | Some i ->

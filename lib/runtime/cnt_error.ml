@@ -6,6 +6,7 @@ type stage =
   | Spice
   | Power
   | Experiment
+  | Library
   | Cli
 
 type code =
@@ -65,10 +66,11 @@ let stage_name = function
   | Spice -> "spice"
   | Power -> "power"
   | Experiment -> "experiment"
+  | Library -> "library"
   | Cli -> "cli"
 
 let all_stages =
-  [ Logic; Netlist; Aig; Techmap; Spice; Power; Experiment; Cli ]
+  [ Logic; Netlist; Aig; Techmap; Spice; Power; Experiment; Library; Cli ]
 
 let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
 

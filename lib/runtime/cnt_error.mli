@@ -19,6 +19,7 @@ type stage =
   | Spice  (** device models, DC solve, transient analysis *)
   | Power  (** power characterization and estimation *)
   | Experiment  (** experiment drivers (E1-E15, ablations) *)
+  | Library  (** declarative library files (genlib-plus) and the registry *)
   | Cli  (** command-line driver *)
 
 type code =

@@ -33,6 +33,16 @@ type t = {
 val cmos : t
 val cntfet : t
 
+val vt_room : float
+(** Thermal voltage kT/q at the 300 K calibration point, V. *)
+
+val derive_ispec :
+  n:float -> alpha:float -> vth:float -> vt:float -> vdd:float -> float -> float
+(** [derive_ispec ~n ~alpha ~vth ~vt ~vdd ioff_unit] is the EKV specific
+    current that makes a unit device leak exactly [ioff_unit] at Vgs = 0,
+    Vds = Vdd. Library files that state a corner by its off-current (the
+    measurable quantity) rather than by [ispec] go through this. *)
+
 val frequency : float
 (** Operating frequency used throughout the paper's evaluation: 1 GHz. *)
 

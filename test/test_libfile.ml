@@ -1,0 +1,364 @@
+(* Logic-family files (Cell.Libfile): the parser rejects malformed and
+   semantically invalid files with line-numbered typed errors, the
+   canonical export round-trips byte for byte (pinning the committed
+   data/libraries/*.genlibp copies of the built-ins), registration
+   shadows by name with a warning, and a family loaded from a data file
+   estimates identically to the equivalent built-in. *)
+
+module R = Runtime.Cnt_error
+module G = Cell.Genlib
+module L = Cell.Libfile
+
+let code =
+  Alcotest.testable (fun ppf c -> Format.pp_print_string ppf (R.code_name c)) ( = )
+
+let data_file name = Filename.concat "../data/libraries" (name ^ L.extension)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* A minimal valid library, one line per list element (END on line 11). *)
+let base_lines =
+  [
+    "LIBRARY t";
+    "STYLE ambipolar";
+    "TECH cntfet-32nm";
+    "GATE INV 1 2 O=!A;";
+    "  PU p(A)";
+    "  PD n(A)";
+    "  OUTINV 0";
+    "  DELAY 2.4e-12";
+    "  INCAP 3.6e-17";
+    "  DRAINCAP 3.6e-17";
+    "END";
+  ]
+
+let text_of lines = String.concat "\n" lines
+
+let check_error name text expected_code expected_line =
+  match L.parse text with
+  | Ok _ -> Alcotest.failf "%s: expected a typed error, parsed fine" name
+  | Result.Error e ->
+      Alcotest.check code (name ^ " code") expected_code e.R.code;
+      Alcotest.(check string)
+        (name ^ " stage") "library" (R.stage_name e.R.stage);
+      Alcotest.(check (option string))
+        (name ^ " line")
+        (Some (string_of_int expected_line))
+        (List.assoc_opt "line" e.R.context);
+      e
+
+let minimal_parses () =
+  match L.parse (text_of base_lines) with
+  | Ok lib ->
+      Alcotest.(check string) "name" "t" lib.G.name;
+      Alcotest.(check int) "gates" 1 (List.length lib.G.gates)
+  | Result.Error e -> Alcotest.failf "minimal library rejected: %a" R.pp e
+
+(* --- parser fault injection ---------------------------------------- *)
+
+let truncated_file () =
+  (* Cut the file inside the GATE block: EOF reports the unterminated
+     gate at the last line of the (8-line) fragment. *)
+  let frag = List.filteri (fun i _ -> i < 8) base_lines in
+  let e = check_error "truncated" (text_of frag) R.Parse_error 8 in
+  Alcotest.(check bool)
+    "names the gate" true
+    (contains ~affix:"GATE INV" e.R.message)
+
+let bad_cap () =
+  let lines =
+    List.map
+      (fun l -> if l = "  INCAP 3.6e-17" then "  INCAP -3.6e-17" else l)
+      base_lines
+  in
+  (* Value faults surface when the gate record is finished, at END. *)
+  ignore (check_error "negative INCAP" (text_of lines) R.Validation_error 11)
+
+let unparsable_cap () =
+  let lines =
+    List.map
+      (fun l -> if l = "  INCAP 3.6e-17" then "  INCAP tiny" else l)
+      base_lines
+  in
+  ignore (check_error "non-numeric INCAP" (text_of lines) R.Parse_error 9)
+
+let unknown_cell () =
+  let lines =
+    List.map
+      (fun l ->
+        if l = "GATE INV 1 2 O=!A;" then "GATE NOPE 1 2 O=!A;" else l)
+      base_lines
+  in
+  let e = check_error "unknown cell" (text_of lines) R.Validation_error 11 in
+  Alcotest.(check bool)
+    "names the cell" true
+    (contains ~affix:"NOPE" e.R.message)
+
+let duplicate_gate () =
+  let dup = base_lines @ List.filteri (fun i _ -> i >= 3) base_lines in
+  let e = check_error "duplicate gate" (text_of dup) R.Validation_error 19 in
+  Alcotest.(check bool)
+    "points at the first definition" true
+    (contains ~affix:"first defined at line 4" e.R.message)
+
+let bad_formula () =
+  let lines =
+    List.map
+      (fun l ->
+        if l = "GATE INV 1 2 O=!A;" then "GATE INV 1 2 O=A**B;" else l)
+      base_lines
+  in
+  ignore (check_error "bad formula" (text_of lines) R.Parse_error 4)
+
+let non_complementary () =
+  let lines =
+    List.map (fun l -> if l = "  PD n(A)" then "  PD n(!A)" else l) base_lines
+  in
+  let e =
+    check_error "non-complementary" (text_of lines) R.Validation_error 11
+  in
+  Alcotest.(check bool)
+    "says so" true
+    (contains ~affix:"complementary" e.R.message)
+
+let tgate_needs_ambipolar () =
+  let lines =
+    [
+      "LIBRARY t";
+      "STYLE static";
+      "TECH cntfet-32nm";
+      "GATE INV 1 2 O=!A;";
+      "  PU p(A)";
+      "  PD n(A)";
+      "  OUTINV 0";
+      "  DELAY 2.4e-12";
+      "  INCAP 3.6e-17";
+      "  DRAINCAP 3.6e-17";
+      "END";
+      "GATE XOR2 2 4 O=A ^ B;";
+      "  PU tg(A,B)";
+      "  PD tg(A,!B)";
+      "  OUTINV 0";
+      "  DELAY 2.4e-12";
+      "  INCAP 3.6e-17 3.6e-17";
+      "  DRAINCAP 7.2e-17";
+      "END";
+    ]
+  in
+  let e =
+    check_error "tg in static style" (text_of lines) R.Validation_error 19
+  in
+  Alcotest.(check bool)
+    "says so" true
+    (contains ~affix:"STYLE ambipolar" e.R.message)
+
+let missing_inv () =
+  let lines =
+    List.map
+      (fun l ->
+        match l with
+        | "GATE INV 1 2 O=!A;" -> "GATE BUF 1 2 O=A;"
+        | "  PU p(A)" -> "  PU p(!A)"
+        | "  PD n(A)" -> "  PD n(!A)"
+        | other -> other)
+      base_lines
+  in
+  ignore (check_error "missing INV" (text_of lines) R.Validation_error 11)
+
+(* --- canonical export round-trips ---------------------------------- *)
+
+let builtin_roundtrips () =
+  List.iter
+    (fun lib ->
+      let text = L.export lib in
+      match L.parse ~path:(lib.G.name ^ L.extension) text with
+      | Result.Error e ->
+          Alcotest.failf "%s: export does not load back: %a" lib.G.name R.pp e
+      | Ok reloaded ->
+          Alcotest.(check string)
+            (lib.G.name ^ " byte-identical re-export")
+            text (L.export reloaded);
+          Alcotest.(check int)
+            (lib.G.name ^ " gate count")
+            (List.length lib.G.gates)
+            (List.length reloaded.G.gates))
+    G.all_libraries
+
+let committed_files_match_builtins () =
+  (* The committed data/libraries copies are exactly the canonical
+     export of the built-ins — regenerate with
+     `cntpower library export <name> -o data/libraries/<name>.genlibp`
+     whenever a built-in changes. *)
+  List.iter
+    (fun lib ->
+      let path = data_file lib.G.name in
+      let committed = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check string)
+        (path ^ " is the canonical export")
+        (L.export lib) committed;
+      match L.load_file path with
+      | Ok loaded ->
+          Alcotest.(check string) "same name" lib.G.name loaded.G.name
+      | Result.Error e -> Alcotest.failf "%s: %a" path R.pp e)
+    G.all_libraries
+
+(* --- registry ------------------------------------------------------ *)
+
+let with_clean_registry f =
+  G.reset_registry ();
+  Fun.protect ~finally:G.reset_registry f
+
+let registry_shadowing () =
+  with_clean_registry (fun () ->
+      let parsed =
+        match L.parse (L.export G.cmos) with
+        | Ok l -> l
+        | Result.Error e -> Alcotest.failf "parse: %a" R.pp e
+      in
+      let warnings = L.register parsed in
+      Alcotest.(check int) "one warning" 1 (List.length warnings);
+      Alcotest.(check bool)
+        "warns about the built-in" true
+        (contains ~affix:"built-in" (List.hd warnings));
+      (* The file shadows the built-in by name without growing the list. *)
+      Alcotest.(check int)
+        "library count unchanged" (List.length G.all_libraries)
+        (List.length (G.libraries ()));
+      (match G.find_library "cmos" with
+      | Some l -> Alcotest.(check bool) "resolves to the file" true (l == parsed)
+      | None -> Alcotest.fail "cmos vanished");
+      G.reset_registry ();
+      match G.find_library "cmos" with
+      | Some l ->
+          Alcotest.(check bool) "built-in restored" true (l == G.cmos)
+      | None -> Alcotest.fail "cmos vanished after reset")
+
+let registry_fresh_and_reload () =
+  with_clean_registry (fun () ->
+      match L.load_file (data_file "ptl-ambipolar") with
+      | Result.Error e -> Alcotest.failf "ptl: %a" R.pp e
+      | Ok lib ->
+          Alcotest.(check (list string)) "fresh: no warning" [] (L.register lib);
+          Alcotest.(check int)
+            "appended"
+            (List.length G.all_libraries + 1)
+            (List.length (G.libraries ()));
+          let warnings = L.register lib in
+          Alcotest.(check int) "reload warns" 1 (List.length warnings);
+          Alcotest.(check bool)
+            "about the earlier registration" true
+            (contains ~affix:"earlier" (List.hd warnings)))
+
+let discover_search_path () =
+  let dir = Filename.temp_file "cntpower-libpath" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir;
+      Unix.putenv L.libpath_env "")
+    (fun () ->
+      let path = Filename.concat dir ("t" ^ L.extension) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (text_of base_lines));
+      (* Noise on the search path: wrong extension is not discovered. *)
+      Out_channel.with_open_bin (Filename.concat dir "notes.txt") (fun oc ->
+          Out_channel.output_string oc "not a library");
+      Unix.putenv L.libpath_env dir;
+      Alcotest.(check (list string)) "discovered" [ path ] (L.discover ());
+      with_clean_registry (fun () ->
+          match L.load_search_path () with
+          | [ (p, Ok (lib, [])) ] ->
+              Alcotest.(check string) "path" path p;
+              Alcotest.(check string) "name" "t" lib.G.name
+          | outcomes ->
+              Alcotest.failf "unexpected outcomes (%d)" (List.length outcomes)))
+
+(* --- end-to-end: data file vs built-in, and the PTL family --------- *)
+
+let estimate_via lib =
+  let entry = Circuits.Suite.find "C1355" in
+  let nl = entry.Circuits.Suite.generate () in
+  let aig = Aigs.Opt.resyn2rs (Aigs.Aig.of_netlist nl) in
+  let ml = Techmap.Matchlib.build lib in
+  let mapped = R.get_exn (Techmap.Mapper.map_checked ml aig) in
+  (nl, mapped, Techmap.Estimate.run ~patterns:512 ~seed:9L mapped)
+
+let data_file_estimates_like_builtin () =
+  let _, _, builtin = estimate_via G.cmos in
+  let loaded =
+    match L.load_file (data_file "cmos") with
+    | Ok l -> l
+    | Result.Error e -> Alcotest.failf "load: %a" R.pp e
+  in
+  let _, _, from_file = estimate_via loaded in
+  Alcotest.(check int)
+    "same gates" builtin.Techmap.Estimate.gates from_file.Techmap.Estimate.gates;
+  Alcotest.(check (float 0.0))
+    "same area" builtin.Techmap.Estimate.area from_file.Techmap.Estimate.area;
+  Alcotest.(check (float 0.0))
+    "same delay" builtin.Techmap.Estimate.delay from_file.Techmap.Estimate.delay;
+  Alcotest.(check (float 0.0))
+    "same total power" builtin.Techmap.Estimate.total
+    from_file.Techmap.Estimate.total
+
+let ptl_family_end_to_end () =
+  match L.load_file (data_file "ptl-ambipolar") with
+  | Result.Error e -> Alcotest.failf "ptl: %a" R.pp e
+  | Ok lib ->
+      Alcotest.(check string) "name" "ptl-ambipolar" lib.G.name;
+      Alcotest.(check int) "gates" 16 (List.length lib.G.gates);
+      let nl, mapped, report = estimate_via lib in
+      Alcotest.(check bool)
+        "mapped netlist verifies" true
+        (Techmap.Mapped.check mapped nl ~patterns:256 ~seed:5L);
+      Alcotest.(check bool) "positive power" true (report.Techmap.Estimate.total > 0.0);
+      Alcotest.(check bool) "positive delay" true (report.Techmap.Estimate.delay > 0.0)
+
+let () =
+  Alcotest.run "libfile"
+    [
+      ( "parse",
+        Alcotest.
+          [
+            test_case "minimal library parses" `Quick minimal_parses;
+            test_case "truncated file" `Quick truncated_file;
+            test_case "negative INCAP" `Quick bad_cap;
+            test_case "non-numeric INCAP" `Quick unparsable_cap;
+            test_case "unknown cell" `Quick unknown_cell;
+            test_case "duplicate gate" `Quick duplicate_gate;
+            test_case "bad formula" `Quick bad_formula;
+            test_case "non-complementary networks" `Quick non_complementary;
+            test_case "tg requires ambipolar style" `Quick tgate_needs_ambipolar;
+            test_case "missing INV" `Quick missing_inv;
+          ] );
+      ( "roundtrip",
+        Alcotest.
+          [
+            test_case "built-ins export/load byte-identically" `Quick
+              builtin_roundtrips;
+            test_case "committed files are canonical exports" `Quick
+              committed_files_match_builtins;
+          ] );
+      ( "registry",
+        Alcotest.
+          [
+            test_case "file shadows built-in with warning" `Quick
+              registry_shadowing;
+            test_case "fresh name appends, reload warns" `Quick
+              registry_fresh_and_reload;
+            test_case "CNTPOWER_LIBPATH discovery" `Quick discover_search_path;
+          ] );
+      ( "end-to-end",
+        Alcotest.
+          [
+            test_case "data-file cmos estimates like built-in" `Quick
+              data_file_estimates_like_builtin;
+            test_case "PTL family maps and estimates" `Quick
+              ptl_family_end_to_end;
+          ] );
+    ]
