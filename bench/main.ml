@@ -163,9 +163,38 @@ let micro_tests () =
                Runtime.Telemetry.count "bench.counter" 1;
                Runtime.Telemetry.observe "bench.dist" 1.0)))
   in
+  let telemetry_disabled_traced =
+    (* Same disabled path with a live trace context installed: the
+       per-request Tracectx must not reintroduce cost into guarded
+       emit/span sites when journal and telemetry are off. *)
+    let ctx = Runtime.Tracectx.mint_root () in
+    Test.make ~name:"telemetry-span-disabled-traced"
+      (Staged.stage (fun () ->
+           Runtime.Tracectx.with_ctx ctx (fun () ->
+               Runtime.Telemetry.with_span "bench.span" (fun () ->
+                   Runtime.Telemetry.count "bench.counter" 1;
+                   Runtime.Telemetry.observe "bench.dist" 1.0);
+               Runtime.Journal.emit Runtime.Journal.Cache_hit [])))
+  in
+  let metrics_snapshot =
+    (* What the daemon pays to answer the `metrics` verb inline (and the
+       campaign coordinator per completion): merge caller gauges and
+       lifecycle counters with the telemetry registry into a snapshot. *)
+    let gauges =
+      List.init 8 (fun i -> (Printf.sprintf "gauge%d" i, float_of_int i))
+    in
+    let counters = List.init 24 (fun i -> (Printf.sprintf "serve.c%d" i, i)) in
+    let started = Unix.gettimeofday () in
+    Test.make ~name:"metrics-snapshot"
+      (Staged.stage (fun () ->
+           ignore
+             (Runtime.Metrics.make ~source:"bench" ~started ~gauges ~counters
+                ())))
+  in
   [ classify; dc_solve; resyn; mapping; simulate ]
   @ matchlib_per_family @ sim_seq_vs_par
-  @ [ supervise; telemetry_disabled ]
+  @ [ supervise; telemetry_disabled; telemetry_disabled_traced;
+      metrics_snapshot ]
 
 let run_micro () =
   Format.printf "@.#### Microbenchmarks (bechamel) ####@.";

@@ -384,6 +384,7 @@ let manifest_path_of run_name = Filename.concat (run_dir_of run_name) "manifest.
 let profile_path_of run_name = Filename.concat (run_dir_of run_name) "profile.json"
 let events_path_of run_name = Filename.concat (run_dir_of run_name) "events.jsonl"
 let trace_path_of run_name = Filename.concat (run_dir_of run_name) "trace.json"
+let metrics_path_of run_name = Filename.concat (run_dir_of run_name) "metrics.json"
 
 let log_level_arg =
   let doc =
@@ -604,7 +605,7 @@ let all_cmd =
          trace` and post-mortems feed on. *)
       let events_path = events_path_of run_name in
       Jn.set_enabled true;
-      (match Jn.open_sink ~path:events_path with
+      (match Jn.open_sink ~path:events_path () with
       | Ok () -> ()
       | Result.Error e ->
           Format.eprintf "cntpower: cannot open event journal: %a@." R.pp e;
@@ -831,7 +832,7 @@ let campaign_cmd =
     T.set_enabled true;
     T.reset ();
     Jn.set_enabled true;
-    (match Jn.open_sink ~path:(Cg.events_path cfg) with
+    (match Jn.open_sink ~path:(Cg.events_path cfg) () with
     | Ok () -> ()
     | Result.Error e ->
         Format.eprintf "cntpower: cannot open event journal: %a@." R.pp e;
@@ -954,7 +955,7 @@ let golden_cmd =
           in
           Jn.set_enabled true;
           Jn.set_verbosity None;
-          (match Jn.open_sink ~path:events_path with
+          (match Jn.open_sink ~path:events_path () with
           | Ok () ->
               List.iter
                 (fun (d : C.drift) ->
@@ -1050,6 +1051,33 @@ let stats_json ~path ?journal prof =
              prof.T.p_dists) );
     ])
 
+(* Span ordering for `stats`: applied recursively, so every level of the
+   tree (and the --json flattening, which walks the same tree) comes out
+   in the requested order. *)
+let rec sort_spans ~cmp ~top spans =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  let spans = List.stable_sort cmp spans in
+  let spans = match top with Some n -> take n spans | None -> spans in
+  List.map
+    (fun (s : Runtime.Telemetry.span) ->
+      { s with T.children = sort_spans ~cmp ~top s.T.children })
+    spans
+
+let span_cmp = function
+  | `Wall ->
+      fun (a : Runtime.Telemetry.span) (b : Runtime.Telemetry.span) ->
+        Float.compare b.T.total_s a.T.total_s
+  | `Count ->
+      fun (a : Runtime.Telemetry.span) (b : Runtime.Telemetry.span) ->
+        compare (b.T.calls, b.T.span_name) (a.T.calls, a.T.span_name)
+  | `Path ->
+      fun (a : Runtime.Telemetry.span) (b : Runtime.Telemetry.span) ->
+        String.compare a.T.span_name b.T.span_name
+
 let stats_cmd =
   let run_pos =
     let doc = "Run name whose profile to render (_runs/$(docv)/profile.json)." in
@@ -1066,11 +1094,35 @@ let stats_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run run_name file json =
+  let sort_arg =
+    let doc =
+      "Span ordering at every tree level: $(b,wall) (total wall time, \
+       largest first — the default, so the expensive stages lead), \
+       $(b,count) (call count), or $(b,path) (name, alphabetical)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("wall", `Wall); ("count", `Count); ("path", `Path) ]) `Wall
+      & info [ "sort" ] ~docv:"KEY" ~doc)
+  in
+  let top_arg =
+    let doc = "Show only the top $(docv) spans at each tree level." in
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run run_name file json sort top =
+    (match top with
+    | Some n when n < 1 ->
+        R.failf
+          ~context:[ ("top", string_of_int n) ]
+          R.Cli R.Validation_error "--top must be >= 1 (got %d)" n
+    | _ -> ());
     let path =
       match file with Some p -> p | None -> profile_path_of run_name
     in
     let prof = R.get_exn (T.load ~path) in
+    let prof =
+      { prof with T.p_spans = sort_spans ~cmp:(span_cmp sort) ~top prof.T.p_spans }
+    in
     (* The run's journal rides along when stats is pointed at a run (not
        a bare --file): event count plus how many torn/corrupt lines the
        lenient loader had to skip — silent data loss is not OK. *)
@@ -1117,9 +1169,11 @@ let stats_cmd =
           per pipeline stage per experiment), monotonic counters (DC \
           solves, cache hits, matches tried, words simulated) and \
           throughput distributions; --json emits the same data \
-          machine-readably. A missing or malformed profile exits with its \
-          typed error code, never a backtrace.")
-    Term.(const run $ run_pos $ file_arg $ json_arg)
+          machine-readably. Spans are sorted by total wall time (--sort \
+          count/path for other orders, --top N to truncate each level). A \
+          missing or malformed profile exits with its typed error code, \
+          never a backtrace.")
+    Term.(const run $ run_pos $ file_arg $ json_arg $ sort_arg $ top_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `trace`: Chrome trace_event export of profile + journal.            *)
@@ -1150,7 +1204,16 @@ let trace_cmd =
     let doc = "Write the trace to $(docv) instead of _runs/<run>/trace.json." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run run_name out =
+  let request_arg =
+    let doc =
+      "Slice the export down to one request/shard: $(docv) is a trace id \
+       (t<pid>-<n>, as stamped on journal events) or a daemon request \
+       number. Only that trace's telemetry subtrees and journal events are \
+       exported, worker tracks still anchored on their PIDs."
+    in
+    Arg.(value & opt (some string) None & info [ "request" ] ~docv:"ID" ~doc)
+  in
+  let run run_name out request =
     let prof = R.get_exn (T.load ~path:(profile_path_of run_name)) in
     let events, skipped = load_events_lenient (events_path_of run_name) in
     if events = [] then
@@ -1158,12 +1221,28 @@ let trace_cmd =
         "cntpower: no journal events for run %s; spans will be laid out \
          sequentially on one track@."
         run_name;
+    let prof, events, sliced =
+      match request with
+      | None -> (prof, events, "")
+      | Some arg -> (
+          match Tr.resolve_trace_id ~events arg with
+          | None ->
+              R.failf
+                ~context:[ ("request", arg) ]
+                R.Cli R.Validation_error
+                "no journal event of run %s carries trace id or request \
+                 number %S"
+                run_name arg
+          | Some trace_id ->
+              let p, evs = Tr.slice ~trace_id ~events prof in
+              (p, evs, Printf.sprintf ", sliced to trace %s" trace_id))
+    in
     let out = match out with Some p -> p | None -> trace_path_of run_name in
     R.get_exn (Tr.save ~path:out ~events prof);
     Format.fprintf std
-      "trace: %s (%d journal events, %d torn/corrupt line(s) skipped; open \
-       in chrome://tracing or ui.perfetto.dev)@."
-      out (List.length events) skipped;
+      "trace: %s (%d journal events, %d torn/corrupt line(s) skipped%s; \
+       open in chrome://tracing or ui.perfetto.dev)@."
+      out (List.length events) skipped sliced;
     0
   in
   Cmd.v
@@ -1171,10 +1250,12 @@ let trace_cmd =
        ~doc:
          "Export a profiled run as Chrome trace_event JSON: telemetry \
           spans become duration events, one track per worker PID \
-          (anchored at the journal's experiment_started timestamps), and \
-          journal events become instants. Open the result in \
-          chrome://tracing or Perfetto. Requires `cntpower all --profile`.")
-    Term.(const run $ run_pos $ out_arg)
+          (anchored at the journal's experiment_started / worker_spawned \
+          timestamps), and journal events become instants. --request <id> \
+          slices a single request/shard end-to-end by its trace id. Open \
+          the result in chrome://tracing or Perfetto. Requires a profiled \
+          run (`all --profile`, `campaign`, or `serve`).")
+    Term.(const run $ run_pos $ out_arg $ request_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `compare`: cross-run regression gate over profiles + manifests.     *)
@@ -1368,7 +1449,8 @@ let serve_admit ~allow_inject json =
     if verb = "estimate" then Ok ()
     else
       R.error R.Cli R.Validation_error
-        "unknown verb %S (this daemon speaks \"estimate\" and \"health\")" verb
+        "unknown verb %S (this daemon speaks \"estimate\", \"health\" and \
+         \"metrics\")" verb
   in
   let* blif = Result.bind (C.field json "blif") (C.as_str "blif") in
   let* lib_name =
@@ -1504,15 +1586,42 @@ let serve_cmd =
   let run_name_arg =
     let doc =
       "Run name for the journal/telemetry artifacts \
-       (_runs/$(docv)/events.jsonl, profile.json); default serve-<unix-time>."
+       (_runs/$(docv)/events.jsonl, profile.json, metrics.json); default \
+       serve-<unix-time>."
     in
     Arg.(value & opt (some string) None & info [ "run" ] ~docv:"NAME" ~doc)
   in
+  let journal_max_bytes_arg =
+    let doc =
+      "Rotate the event journal when it exceeds $(docv) bytes: the live \
+       events.jsonl is renamed events.jsonl.1 (older segments shift up) \
+       and a fresh file is started. 0 disables rotation."
+    in
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "journal-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let journal_keep_arg =
+    let doc = "Rotated journal segments to keep (events.jsonl.1 .. .$(docv))." in
+    Arg.(value & opt int 4 & info [ "journal-keep" ] ~docv:"N" ~doc)
+  in
   let run socket libfiles workers queue max_bytes deadline drain breaker
-      window allow_inject run_name log_level domains no_cache =
+      window allow_inject run_name journal_max_bytes journal_keep log_level
+      domains no_cache =
     validate_timeout deadline;
     validate_timeout drain;
     validate_timeout window;
+    if journal_max_bytes < 0 then
+      R.failf
+        ~context:[ ("journal-max-bytes", string_of_int journal_max_bytes) ]
+        R.Cli R.Validation_error "--journal-max-bytes must be >= 0 (got %d)"
+        journal_max_bytes;
+    if journal_keep < 1 || journal_keep > 1000 then
+      R.failf
+        ~context:[ ("journal-keep", string_of_int journal_keep) ]
+        R.Cli R.Validation_error "--journal-keep must be in [1, 1000] (got %d)"
+        journal_keep;
     apply_runtime_opts ~domains ~no_cache;
     (* Before the daemon binds: request admission resolves library names
        against the registry, and estimation workers fork from here. *)
@@ -1529,7 +1638,13 @@ let serve_cmd =
     T.set_enabled true;
     T.reset ();
     Jn.set_enabled true;
-    (match Jn.open_sink ~path:(events_path_of run_name) with
+    (match
+       Jn.open_sink
+         ?max_bytes:
+           (if journal_max_bytes = 0 then None else Some journal_max_bytes)
+         ~keep:journal_keep
+         ~path:(events_path_of run_name) ()
+     with
     | Ok () -> ()
     | Result.Error e ->
         Format.eprintf "cntpower: cannot open event journal: %a@." R.pp e;
@@ -1544,6 +1659,7 @@ let serve_cmd =
         drain_timeout_s = drain;
         breaker_threshold = breaker;
         breaker_window_s = window;
+        metrics_path = Some (metrics_path_of run_name);
       }
     in
     Format.fprintf std
@@ -1585,15 +1701,17 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the power-estimation daemon on a Unix socket: length-prefixed \
-          JSON requests (estimate/health), bounded forked-worker pool, \
-          admission validation, per-request deadlines, overload shedding, \
-          crash isolation with exponential backoff and a circuit breaker, \
-          and graceful SIGTERM/SIGINT drain. Journal and telemetry land in \
-          _runs/<run>/ for stats/trace/compare.")
+          JSON requests (estimate/health/metrics), bounded forked-worker \
+          pool, admission validation, per-request deadlines, overload \
+          shedding, crash isolation with exponential backoff and a circuit \
+          breaker, and graceful SIGTERM/SIGINT drain. Journal (rotated at \
+          --journal-max-bytes), telemetry and live metrics land in \
+          _runs/<run>/ for stats/trace/compare/top.")
     Term.(
       const run $ socket_arg $ library_file_arg $ workers_arg $ queue_arg
       $ max_bytes_arg $ deadline_arg $ drain_arg $ breaker_arg
-      $ breaker_window_arg $ allow_inject_arg $ run_name_arg $ log_level_arg
+      $ breaker_window_arg $ allow_inject_arg $ run_name_arg
+      $ journal_max_bytes_arg $ journal_keep_arg $ log_level_arg
       $ domains_arg $ no_cache_arg)
 
 let request_cmd =
@@ -1749,6 +1867,139 @@ let request_cmd =
       $ req_retries_arg)
 
 (* ------------------------------------------------------------------ *)
+(* `metrics` / `top`: live operational metrics from a daemon socket or
+   a run directory's metrics.json snapshot.                            *)
+
+module Mx = Runtime.Metrics
+
+(* Target resolution shared by both commands: an existing Unix socket
+   (or anything named *.sock — dialing a missing one yields the typed
+   io-error) is a live daemon to poll with the `metrics` verb; a *.json
+   path is read directly; anything else is a run name under _runs/. *)
+let metrics_source arg =
+  let is_socket p =
+    match Unix.stat p with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> false
+  in
+  if is_socket arg || Filename.check_suffix arg ".sock" then `Socket arg
+  else if Filename.check_suffix arg ".json" then `File arg
+  else `File (metrics_path_of arg)
+
+let fetch_metrics ~timeout_s = function
+  | `Socket sock ->
+      let ( let* ) = Result.bind in
+      let* resp =
+        Sv.call ~socket_path:sock ~timeout_s
+          (C.Obj [ ("verb", C.Str "metrics") ])
+      in
+      let* () =
+        match Sv.response_error resp with
+        | Some e -> Result.Error e
+        | None -> Ok ()
+      in
+      let* m = C.field resp "metrics" in
+      Mx.of_json m
+  | `File path -> Mx.load ~path
+
+let metrics_target_pos =
+  let doc =
+    "What to read: a daemon socket path (the `metrics` verb is answered \
+     inline, even under load or while draining), a run name \
+     (_runs/$(docv)/metrics.json, written by `serve` and `campaign`), or \
+     a metrics.json file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let metrics_timeout_arg =
+  let doc = "Client-side wait for a daemon's metrics response, in seconds." in
+  Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let metrics_cmd =
+  let json_arg =
+    let doc = "Emit the snapshot as JSON on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let prometheus_arg =
+    let doc =
+      "Emit the snapshot as Prometheus text exposition (version 0.0.4): \
+       counters as cntpower_*_total, gauges, and distribution summaries \
+       with p50/p95 quantile series."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
+  let run target json prometheus timeout =
+    validate_timeout timeout;
+    let m = R.get_exn (fetch_metrics ~timeout_s:timeout (metrics_source target)) in
+    if prometheus then print_string (Mx.to_prometheus m)
+    else if json then print_endline (C.json_to_string (Mx.to_json m))
+    else Format.fprintf std "%a@." Mx.pp m;
+    0
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Fetch one live metrics snapshot — request counts by verb and \
+          outcome, queue depth, in-flight workers, latency distributions, \
+          cache hit ratios — from a running daemon's socket or a run's \
+          metrics.json, as a human summary, --json, or --prometheus text \
+          exposition.")
+    Term.(
+      const run $ metrics_target_pos $ json_arg $ prometheus_arg
+      $ metrics_timeout_arg)
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Refresh interval, in seconds." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    let doc = "Print one snapshot and exit instead of refreshing." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let run target interval once timeout =
+    validate_timeout timeout;
+    if not (Float.is_finite interval) || interval < 0.1 then
+      R.failf
+        ~context:[ ("interval", Printf.sprintf "%h" interval) ]
+        R.Cli R.Validation_error
+        "--interval must be a finite number of seconds >= 0.1 (got %g)"
+        interval;
+    let source = metrics_source target in
+    let rec loop () =
+      (match fetch_metrics ~timeout_s:timeout source with
+      | Ok m ->
+          if not once then print_string "\027[2J\027[H";
+          Format.fprintf std "%a@." Mx.pp m;
+          Format.pp_print_flush std ()
+      | Result.Error e ->
+          (* One failed poll is not fatal when refreshing: the daemon may
+             be mid-restart or the snapshot mid-rename. --once must exit
+             typed so scripts and CI can gate on it. *)
+          if once then R.raise_error e
+          else Format.fprintf std "cntpower top: %a@." R.pp e);
+      if once then 0
+      else begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live one-screen status of a running daemon or campaign: polls \
+          the socket's `metrics` verb or the run's metrics.json every \
+          --interval seconds and redraws gauges, counters, cache hit \
+          ratios and latency summaries; --once prints a single snapshot \
+          (typed exit on failure) for scripts.")
+    Term.(
+      const run $ metrics_target_pos $ interval_arg $ once_arg
+      $ metrics_timeout_arg)
+
+(* ------------------------------------------------------------------ *)
 (* `library`: inspect, validate and export logic-family definitions.   *)
 
 let library_cmd =
@@ -1891,7 +2142,7 @@ let main =
       table1_cmd; libchar_cmd; patterns_cmd; tgate_cmd; delay_cmd; dynamic_cmd;
       pla_cmd; seq_cmd; sensitivity_cmd; ablations_cmd; synth_cmd; genlib_cmd;
       check_cmd; all_cmd; campaign_cmd; golden_cmd; stats_cmd; trace_cmd;
-      compare_cmd; serve_cmd; request_cmd; library_cmd;
+      compare_cmd; serve_cmd; request_cmd; metrics_cmd; top_cmd; library_cmd;
     ]
 
 (* Every failure leaves through a typed error: Cnt_error carries its own

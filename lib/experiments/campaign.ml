@@ -4,6 +4,8 @@ module S = Runtime.Supervisor
 module C = Runtime.Checkpoint
 module T = Runtime.Telemetry
 module Jn = Runtime.Journal
+module Tc = Runtime.Tracectx
+module M = Runtime.Metrics
 module Est = Techmap.Estimate
 module G = Cell.Genlib
 
@@ -62,6 +64,7 @@ let queue_path cfg = Filename.concat (dir cfg) "queue.jsonl"
 let manifest_path cfg = Filename.concat (dir cfg) "manifest.json"
 let profile_path cfg = Filename.concat (dir cfg) "profile.json"
 let events_path cfg = Filename.concat (dir cfg) "events.jsonl"
+let metrics_path cfg = Filename.concat (dir cfg) "metrics.json"
 
 let shard_id circuit library seed = Printf.sprintf "%s/%s/%Ld" circuit library seed
 
@@ -228,6 +231,7 @@ type flight = {
   fl_async : (string * float) list S.async;
   fl_deadline : float;  (** epoch; 0. = no deadline *)
   fl_started : float;
+  fl_ctx : Tc.t;  (** shard trace context; stamps every outcome event *)
 }
 
 let run cfg =
@@ -289,6 +293,7 @@ let run cfg =
       | Error e -> Format.eprintf "campaign: profile write failed: %a@." E.pp e
   in
   save_manifest ();
+  let total_shards = List.length shards in
   if Jn.enabled () then
     Jn.emit Jn.Run_started
       [
@@ -304,11 +309,41 @@ let run cfg =
   let leases = ref 0 in
   let in_grid id = Hashtbl.mem by_id id in
   let pending () = List.filter in_grid (W.ready wq) in
+  (* Live status for pollers ([cntpower top <campaign>]): an atomic
+     snapshot after every state change, cheap enough to write eagerly. *)
+  let save_metrics () =
+    let snap =
+      M.make ~source:"campaign" ~started:t0
+        ~gauges:
+          [
+            ("shards_total", float_of_int total_shards);
+            ("workers_busy", float_of_int (List.length !flights));
+            ("workers_max", float_of_int cfg.workers);
+            ("queue_depth", float_of_int (List.length (pending ())));
+          ]
+        ~counters:
+          [
+            ("campaign.completed", !completed);
+            ("campaign.done", W.count wq W.Done);
+            ("campaign.failed", W.count wq W.Failed);
+            ("campaign.quarantined", W.count wq W.Quarantined);
+            ("campaign.leases", !leases);
+            ("campaign.reclaimed", !reclaimed);
+            ("campaign.resumed", !resumed);
+          ]
+        ()
+    in
+    match M.save ~path:(metrics_path cfg) snap with
+    | Ok () -> ()
+    | Error e -> Format.eprintf "campaign: metrics write failed: %a@." E.pp e
+  in
+  save_metrics ();
   let backoff_delay attempt =
     Float.min cfg.backoff_max_s
       (cfg.backoff_initial_s *. (2.0 ** float_of_int (attempt - 1)))
   in
   let handle_failure fl err =
+    Tc.with_ctx fl.fl_ctx @@ fun () ->
     let now = Unix.gettimeofday () in
     let id = fl.fl_shard.sh_id in
     let fields =
@@ -319,9 +354,11 @@ let run cfg =
     else begin
       W.mark_failed wq id ~fields;
       Hashtbl.replace eligible id (now +. backoff_delay fl.fl_attempt)
-    end
+    end;
+    save_metrics ()
   in
   let handle_done fl scalars =
+    Tc.with_ctx fl.fl_ctx @@ fun () ->
     let now = Unix.gettimeofday () in
     let id = fl.fl_shard.sh_id in
     let wall_s = now -. fl.fl_started in
@@ -334,7 +371,8 @@ let run cfg =
     | _ -> ());
     manifest := C.add !manifest (entry_of_shard cfg wq fl.fl_shard ~wall_s scalars);
     save_manifest ();
-    save_profile ()
+    save_profile ();
+    save_metrics ()
   in
   let dispatch () =
     let now = Unix.gettimeofday () in
@@ -353,10 +391,18 @@ let run cfg =
                   else 3600.0)
                  +. 60.0
                in
+               (* One trace per shard attempt set: the lease record, the
+                  worker-spawned event, the worker's own events and its
+                  telemetry subtree all share the id, so [cntpower trace
+                  --request <id>] slices the shard end-to-end. *)
+               let ctx = Tc.mint_root () in
+               Tc.with_ctx ctx @@ fun () ->
                let attempt = W.lease wq id ~ttl_s in
                incr leases;
                let a =
-                 S.spawn_async ~telemetry_prefix:[ "campaign"; "shard" ]
+                 S.spawn_async
+                   ~telemetry_prefix:
+                     [ "campaign"; "shard"; Tc.span_label ctx ]
                    ~name:id
                    (fun () -> execute cfg sh ~attempt)
                in
@@ -373,6 +419,7 @@ let run cfg =
                    fl_async = a;
                    fl_deadline = deadline;
                    fl_started = started;
+                   fl_ctx = ctx;
                  }
                  :: !flights
              end)
@@ -391,6 +438,7 @@ let run cfg =
     flights := live;
     List.iter
       (fun fl ->
+        Tc.with_ctx fl.fl_ctx @@ fun () ->
         S.async_abort fl.fl_async;
         if Jn.enabled () then
           Jn.emit ~level:Jn.Warn Jn.Worker_timeout
@@ -437,7 +485,9 @@ let run cfg =
         List.iter
           (fun fl ->
             if List.mem (S.async_fd fl.fl_async) readable then
-              match S.async_step fl.fl_async with
+              match
+                Tc.with_ctx fl.fl_ctx (fun () -> S.async_step fl.fl_async)
+              with
               | `Pending -> ()
               | `Done res -> (
                   remove_flight fl;
@@ -452,6 +502,7 @@ let run cfg =
   in
   save_manifest ();
   save_profile ();
+  save_metrics ();
   let wall_s = Unix.gettimeofday () -. t0 in
   if Jn.enabled () then
     Jn.emit Jn.Run_finished

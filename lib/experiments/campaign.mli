@@ -22,7 +22,15 @@
     Results stream into an incremental {!Runtime.Checkpoint} manifest
     ([manifest.json], one entry per shard, written after every
     completion) and a merged telemetry profile, so [cntpower
-    stats/trace/compare] work on a half-finished campaign. *)
+    stats/trace/compare] work on a half-finished campaign.
+
+    Each shard attempt set mints a {!Runtime.Tracectx}: the lease and
+    outcome records, the worker's journal events and its telemetry
+    subtree (under [campaign/shard/trace:<id>]) share one trace id, so
+    [cntpower trace --request <id>] slices a single shard. The
+    coordinator also keeps [_runs/<campaign>/metrics.json] fresh — an
+    atomic {!Runtime.Metrics} snapshot rewritten after every state
+    change, the [cntpower top <campaign>] data source. *)
 
 type shard = {
   sh_id : string;  (** ["<circuit>/<library>/<seed>"] *)
@@ -95,3 +103,6 @@ val queue_path : config -> string
 val manifest_path : config -> string
 val profile_path : config -> string
 val events_path : config -> string
+
+val metrics_path : config -> string
+(** [_runs/<campaign>/metrics.json] — live {!Runtime.Metrics} snapshot. *)

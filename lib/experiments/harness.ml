@@ -3,6 +3,7 @@ module C = Runtime.Checkpoint
 module S = Runtime.Supervisor
 module T = Runtime.Telemetry
 module Jn = Runtime.Journal
+module Tc = Runtime.Tracectx
 
 type mode = Keep_going | Strict
 
@@ -87,7 +88,10 @@ let note_done name status =
     in
     Jn.emit ~level:Jn.Debug Jn.Experiment_done fields
 
+(* One trace per experiment: lifecycle events here and in the forked
+   worker (which derives a child context across the fork) share the id. *)
 let run_one config ppf e =
+  Tc.with_ctx (Tc.mint_root ()) @@ fun () ->
   Format.fprintf ppf "@.=== %s: %s ===@." e.name e.doc;
   match config.policy with
   | None -> (

@@ -130,6 +130,14 @@ let sink : out_channel option ref = ref None
 let capture : event list ref option ref = ref None
 let echo_threshold : level option ref = ref (Some Info)
 
+(* Rotation state: remembered so [write_line] can roll the sink over
+   when it crosses the size bound. [sink_bytes] is seeded from the file
+   size at open (the sink appends) and counted per line thereafter. *)
+let sink_path : string option ref = ref None
+let rot_max_bytes : int option ref = ref None
+let rot_keep = ref 4
+let sink_bytes = ref 0
+
 let enabled () = !on
 let set_enabled b = on := b
 let set_verbosity v = echo_threshold := v
@@ -205,9 +213,12 @@ let close_sink () =
   | None -> ()
   | Some oc ->
       sink := None;
+      sink_path := None;
       (try close_out oc with Sys_error _ -> ())
 
-let open_sink ~path =
+let rotated_path path i = Printf.sprintf "%s.%d" path i
+
+let open_sink ?max_bytes ?(keep = 4) ~path () =
   close_sink ();
   match
     mkdir_p (Filename.dirname path);
@@ -215,12 +226,45 @@ let open_sink ~path =
   with
   | oc ->
       sink := Some oc;
+      sink_path := Some path;
+      rot_max_bytes := max_bytes;
+      rot_keep := max 1 keep;
+      sink_bytes :=
+        (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0);
       Ok ()
   | exception Sys_error msg ->
       E.error ~context:[ ("path", path) ] E.Cli E.Io_error "%s" msg
   | exception Unix.Unix_error (err, _, _) ->
       E.error ~context:[ ("path", path) ] E.Cli E.Io_error "%s"
         (Unix.error_message err)
+
+(* Roll the live file to [path.1], shifting [path.i] to [path.i+1] and
+   dropping the oldest segment past [keep]. Best-effort: a rotation that
+   fails (permissions, races) leaves the journal appending to the live
+   file rather than losing events. *)
+let rotate_sink path =
+  (match !sink with
+  | None -> ()
+  | Some oc ->
+      sink := None;
+      (try close_out oc with Sys_error _ -> ()));
+  let keep = !rot_keep in
+  (try
+     let oldest = rotated_path path keep in
+     if Sys.file_exists oldest then Sys.remove oldest
+   with Sys_error _ -> ());
+  for i = keep - 1 downto 1 do
+    let src = rotated_path path i in
+    if Sys.file_exists src then
+      try Sys.rename src (rotated_path path (i + 1)) with Sys_error _ -> ()
+  done;
+  (try Sys.rename path (rotated_path path 1) with Sys_error _ -> ());
+  (match
+     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+   with
+  | oc -> sink := Some oc
+  | exception Sys_error _ -> ());
+  sink_bytes := 0
 
 (* A whole line then a flush: a crash can tear at most the line being
    written, and readers skip torn lines (see [load]). *)
@@ -229,9 +273,14 @@ let write_line ev =
   | None -> ()
   | Some oc -> (
       try
-        output_string oc (J.json_to_string_compact (event_to_json ev));
+        let line = J.json_to_string_compact (event_to_json ev) in
+        output_string oc line;
         output_char oc '\n';
-        flush oc
+        flush oc;
+        sink_bytes := !sink_bytes + String.length line + 1;
+        match (!rot_max_bytes, !sink_path) with
+        | Some limit, Some path when !sink_bytes >= limit -> rotate_sink path
+        | _ -> ()
       with Sys_error _ -> ())
 
 let append_events evs = List.iter write_line evs
@@ -251,6 +300,17 @@ let echoes level =
 let emit ?(level = Info) ?msg kind fields =
   if !on then begin
     incr seq;
+    (* Stamp the active trace context onto every event (unless the call
+       site already carried trace fields): this is what lets [cntpower
+       trace --request] slice one request out of a shared journal. The
+       list append only happens when the journal is on, preserving the
+       zero-alloc disabled path. *)
+    let fields =
+      match Tracectx.current () with
+      | Some ctx when not (List.mem_assoc "trace" fields) ->
+          fields @ Tracectx.to_fields ctx
+      | _ -> fields
+    in
     let ev =
       {
         ev_seq = !seq;
@@ -293,20 +353,37 @@ let end_capture () =
 
 let find ev name = List.assoc_opt name ev.ev_fields
 
-let load ~path =
-  let* text = J.read_file path in
+let parse_lines text (evs0, skipped0) =
   let lines = String.split_on_char '\n' text in
-  let events, skipped =
-    List.fold_left
-      (fun (evs, skipped) line ->
-        if String.trim line = "" then (evs, skipped)
-        else
-          match
-            let* j = J.json_of_string line in
-            event_of_json j
-          with
-          | Ok ev -> (ev :: evs, skipped)
-          | Error _ -> (evs, skipped + 1))
-      ([], 0) lines
+  List.fold_left
+    (fun (evs, skipped) line ->
+      if String.trim line = "" then (evs, skipped)
+      else
+        match
+          let* j = J.json_of_string line in
+          event_of_json j
+        with
+        | Ok ev -> (ev :: evs, skipped)
+        | Error _ -> (evs, skipped + 1))
+    (evs0, skipped0) lines
+
+let load ~path =
+  let* main_text = J.read_file path in
+  (* Rotated segments, oldest (highest index) first, then the live file:
+     [load] sees one logical journal in append order. A rotated segment
+     that vanishes mid-read (a concurrent rotation) is tolerated; only
+     the live file being unreadable is an error. *)
+  let rec segments i acc =
+    let p = rotated_path path i in
+    if Sys.file_exists p then segments (i + 1) (p :: acc) else acc
   in
+  let acc =
+    List.fold_left
+      (fun acc p ->
+        match J.read_file p with
+        | Ok text -> parse_lines text acc
+        | Error _ -> acc)
+      ([], 0) (segments 1 [])
+  in
+  let events, skipped = parse_lines main_text acc in
   Ok (List.rev events, skipped)

@@ -93,20 +93,27 @@ val set_verbosity : level option -> unit
 
 val verbosity : unit -> level option
 
-val open_sink : path:string -> (unit, Cnt_error.t) result
+val open_sink :
+  ?max_bytes:int -> ?keep:int -> path:string -> unit -> (unit, Cnt_error.t) result
 (** Open (append, create, parent directories as needed) the JSONL sink.
-    Any previously open sink is closed first. *)
+    Any previously open sink is closed first. When [max_bytes] is given,
+    the sink rotates once it crosses that size: the live file becomes
+    [path.1], existing [path.i] shift to [path.i+1], and segments past
+    [keep] (default 4) are dropped — bounding a long-lived daemon's
+    journal to roughly [(keep + 1) * max_bytes]. {!load} reads rotated
+    segments back in order. *)
 
 val close_sink : unit -> unit
 (** Flush and close the sink if open. Safe to call when none is. *)
 
 val emit : ?level:level -> ?msg:string -> kind -> (string * string) list -> unit
-(** Record one event: stamp it with the next sequence number, the clock
-    and the PID, write it to the sink (or the capture buffer inside a
-    worker), and echo one line to stderr when [level] passes the
-    verbosity threshold ([msg] overrides the default rendering). No-op
-    when disabled — guard field-list construction on {!enabled} in hot
-    paths. *)
+(** Record one event: stamp it with the next sequence number, the clock,
+    the PID, and the active {!Tracectx} (as [trace]/[span]/[parent]
+    fields, unless the call site already supplied a [trace] field), write
+    it to the sink (or the capture buffer inside a worker), and echo one
+    line to stderr when [level] passes the verbosity threshold ([msg]
+    overrides the default rendering). No-op when disabled — guard
+    field-list construction on {!enabled} in hot paths. *)
 
 val begin_capture : unit -> unit
 (** Worker-side, immediately after [fork]: drop the inherited sink and
@@ -126,10 +133,12 @@ val event_to_json : event -> Checkpoint.json
 val event_of_json : Checkpoint.json -> (event, Cnt_error.t) result
 
 val load : path:string -> (event list * int, Cnt_error.t) result
-(** Parse a journal file: events in file order plus the number of
-    malformed lines skipped. A torn final line (the crash case) or an
-    interleaved corrupt line degrades to a skip count, never a failure;
-    only an unreadable file is an error. *)
+(** Parse a journal: rotated segments ([path.N] oldest first, then
+    [path.1]) followed by the live file, as one logical event stream in
+    append order, plus the number of malformed lines skipped. A torn
+    final line (the crash case) or an interleaved corrupt line degrades
+    to a skip count, never a failure; only the live file being unreadable
+    is an error. *)
 
 val find : event -> string -> string option
 (** Field lookup. *)

@@ -16,6 +16,8 @@ type config = {
   backoff_initial_s : float;
   backoff_max_s : float;
   retry_after_s : float;
+  metrics_path : string option;
+  metrics_interval_s : float;
 }
 
 let default_config ~socket_path =
@@ -32,6 +34,8 @@ let default_config ~socket_path =
     backoff_initial_s = 0.05;
     backoff_max_s = 2.0;
     retry_after_s = 1.0;
+    metrics_path = None;
+    metrics_interval_s = 1.0;
   }
 
 type 'job handlers = {
@@ -236,6 +240,7 @@ type 'job queued = {
   q_conn : conn;
   q_job : 'job;
   q_deadline_s : float;
+  q_ctx : Tracectx.t;  (** minted at admission; follows the request *)
 }
 
 type 'job flight = {
@@ -271,6 +276,8 @@ type 'job state = {
   mutable backoff_s : float;
   mutable backoff_until : float;
   mutable respawn_pending : bool;
+  mutable verb_counts : (string * int) list;
+  mutable last_metrics_write : float;
 }
 
 let jn kind fields = if Journal.enabled () then Journal.emit kind fields
@@ -342,6 +349,50 @@ let final_stats st =
     ("deadline_kills", string_of_int st.deadline_kills);
   ]
 
+(* One live snapshot: the loop's own lifecycle totals (authoritative, and
+   available even with telemetry off) plus whatever the telemetry
+   registry has accumulated — latency dists, cache counters. Served both
+   by the [metrics] verb (inline, ahead of shedding, so it works under
+   load and while draining) and as periodic [metrics.json] writes. *)
+let metrics_snapshot st now =
+  Metrics.make ~source:"serve" ~started:st.started
+    ~gauges:
+      [
+        ("queue_depth", float_of_int (List.length st.queue));
+        ("queue_limit", float_of_int st.cfg.queue_limit);
+        ("workers_busy", float_of_int (List.length st.flights));
+        ("workers_max", float_of_int st.cfg.max_workers);
+        ("connections_open", float_of_int (List.length st.conns));
+        ("cache_entries", float_of_int (cache_entries ()));
+        ("backoff_active", if now < st.backoff_until then 1.0 else 0.0);
+        ("draining", if st.draining = `No then 0.0 else 1.0);
+      ]
+    ~counters:
+      ([
+         ("serve.served", st.served);
+         ("serve.failed", st.failed);
+         ("serve.shed", st.shed);
+         ("serve.rejected", st.rejected);
+         ("serve.worker_crashes", st.crashes);
+         ("serve.deadline_kills", st.deadline_kills);
+       ]
+      @ List.map (fun (v, n) -> ("serve.verb." ^ v, n)) st.verb_counts)
+    ()
+
+let metrics_response st now =
+  J.Obj
+    [
+      ("status", J.Str "ok");
+      ("metrics", Metrics.to_json (metrics_snapshot st now));
+    ]
+
+let write_metrics st now =
+  match st.cfg.metrics_path with
+  | None -> ()
+  | Some path ->
+      st.last_metrics_write <- now;
+      ignore (Metrics.save ~path (metrics_snapshot st now))
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle transitions                                               *)
 
@@ -400,24 +451,31 @@ let dispatch st req now =
   let name = Printf.sprintf "req-%d" req.q_id in
   let execute = st.h.execute in
   let job = req.q_job in
-  match
-    Supervisor.spawn_async ~telemetry_prefix:[ "serve.request" ]
-      ~close_in_child:(fds_to_close_in_child st) ~name (fun () ->
-        match execute job with Ok j -> j | Error e -> E.raise_error e)
-  with
-  | async ->
-      st.flights <-
-        {
-          f_req = req;
-          f_async = async;
-          f_deadline = now +. req.q_deadline_s;
-          f_started = now;
-        }
-        :: st.flights
-  | exception e ->
-      let err = E.of_exn ~stage:E.Experiment e in
-      st.failed <- st.failed + 1;
-      respond st req.q_conn (error_response err)
+  (* Spawn under the request's context: the Worker_spawned event gets the
+     trace fields and the fork inherits the context, so everything the
+     worker journals links back to this request. The per-request span
+     label in the telemetry prefix makes each request's profile subtree
+     addressable in profile.json. *)
+  Tracectx.with_ctx req.q_ctx (fun () ->
+      match
+        Supervisor.spawn_async
+          ~telemetry_prefix:[ "serve.request"; Tracectx.span_label req.q_ctx ]
+          ~close_in_child:(fds_to_close_in_child st) ~name (fun () ->
+            match execute job with Ok j -> j | Error e -> E.raise_error e)
+      with
+      | async ->
+          st.flights <-
+            {
+              f_req = req;
+              f_async = async;
+              f_deadline = now +. req.q_deadline_s;
+              f_started = now;
+            }
+            :: st.flights
+      | exception e ->
+          let err = E.of_exn ~stage:E.Experiment e in
+          st.failed <- st.failed + 1;
+          respond st req.q_conn (error_response err))
 
 let try_dispatch st now =
   let rec go () =
@@ -452,6 +510,7 @@ let breaker_hot st now =
   List.length st.crash_times >= st.cfg.breaker_threshold
 
 let on_worker_done st flight result now =
+  Tracectx.with_ctx flight.f_req.q_ctx @@ fun () ->
   st.flights <- List.filter (fun f -> f.f_req.q_id <> flight.f_req.q_id) st.flights;
   let wall = now -. flight.f_started in
   match result with
@@ -493,6 +552,7 @@ let on_worker_done st flight result now =
       respond st flight.f_req.q_conn (error_response e)
 
 let kill_deadline st flight now =
+  Tracectx.with_ctx flight.f_req.q_ctx @@ fun () ->
   Supervisor.async_abort flight.f_async;
   st.flights <- List.filter (fun f -> f.f_req.q_id <> flight.f_req.q_id) st.flights;
   st.failed <- st.failed + 1;
@@ -534,6 +594,12 @@ let parse_deadline st json =
           E.Cli E.Validation_error
           "deadline_s must be a finite number of seconds > 0"
 
+let bump_verb st v =
+  st.verb_counts <-
+    (match List.assoc_opt v st.verb_counts with
+    | Some n -> (v, n + 1) :: List.remove_assoc v st.verb_counts
+    | None -> (v, 1) :: st.verb_counts)
+
 let process_request st conn json now =
   Telemetry.count "serve.requests" 1;
   let id = st.next_req in
@@ -545,9 +611,13 @@ let process_request st conn json now =
         E.error ~context:[ req_ctx id ] E.Cli E.Validation_error
           "request needs a string \"verb\" field"
   in
+  (match verb with Ok v -> bump_verb st v | Error _ -> bump_verb st "invalid");
   match verb with
   | Error e -> reject st conn id e
   | Ok "health" -> respond st conn (health st now)
+  (* Like health, metrics answers inline ahead of shedding: an operator's
+     poll must work exactly when the server is loaded or draining. *)
+  | Ok "metrics" -> respond st conn (metrics_response st now)
   | Ok _ when st.draining <> `No -> shed st conn ~why:"draining"
   | Ok _
     when List.length st.flights >= st.cfg.max_workers
@@ -556,22 +626,37 @@ let process_request st conn json now =
          overloaded server must not spend on traffic it will refuse. *)
       shed st conn ~why:"queue-full"
   | Ok _ -> (
+      (* Every admitted request starts a trace: the context follows the
+         request through queueing, the forked worker, and completion, so
+         the journal and profile can be sliced per request. *)
+      let ctx = Tracectx.mint_root () in
       match
         let* deadline_s = parse_deadline st json in
         let* job = st.h.admit json in
         Ok (deadline_s, job)
       with
-      | Error e -> reject st conn id (E.with_context e [ req_ctx id ])
+      | Error e ->
+          Tracectx.with_ctx ctx (fun () ->
+              reject st conn id (E.with_context e [ req_ctx id ]))
       | Ok (deadline_s, job) ->
-          let req = { q_id = id; q_conn = conn; q_job = job; q_deadline_s = deadline_s } in
+          let req =
+            {
+              q_id = id;
+              q_conn = conn;
+              q_job = job;
+              q_deadline_s = deadline_s;
+              q_ctx = ctx;
+            }
+          in
           Telemetry.count "serve.admitted" 1;
-          jn Journal.Request_admitted
-            ([
-               req_ctx id;
-               ("conn", string_of_int conn.c_id);
-               ("deadline_s", Printf.sprintf "%.1f" deadline_s);
-             ]
-            @ st.h.describe job);
+          Tracectx.with_ctx ctx (fun () ->
+              jn Journal.Request_admitted
+                ([
+                   req_ctx id;
+                   ("conn", string_of_int conn.c_id);
+                   ("deadline_s", Printf.sprintf "%.1f" deadline_s);
+                 ]
+                @ st.h.describe job));
           st.queue <- st.queue @ [ req ];
           try_dispatch st now)
 
@@ -742,6 +827,7 @@ let drain_expired st now =
      every accepted request still gets exactly one response. *)
   List.iter
     (fun flight ->
+      Tracectx.with_ctx flight.f_req.q_ctx @@ fun () ->
       Supervisor.async_abort flight.f_async;
       st.failed <- st.failed + 1;
       jnw Journal.Worker_killed
@@ -811,6 +897,8 @@ let run cfg h =
       backoff_s = cfg.backoff_initial_s;
       backoff_until = 0.0;
       respawn_pending = false;
+      verb_counts = [];
+      last_metrics_write = 0.0;
     }
   in
   jn Journal.Server_started
@@ -837,6 +925,8 @@ let run cfg h =
       while !finished = None do
         let now = Unix.gettimeofday () in
         if !drain_flag then start_drain st `Signal now;
+        if now -. st.last_metrics_write >= cfg.metrics_interval_s then
+          write_metrics st now;
         (* Reap expired in-flight deadlines before dispatching more. *)
         List.iter
           (fun flight -> if now > flight.f_deadline then kill_deadline st flight now)
@@ -877,11 +967,16 @@ let run cfg h =
                 start_drain st `Signal now
               end;
               (* Completions first: they free worker slots and must win
-                 races against their own deadlines. *)
+                 races against their own deadlines. Stepped under the
+                 request's context so the parent-side Worker_exited /
+                 Worker_killed events carry its trace fields. *)
               List.iter
                 (fun flight ->
                   if List.mem (Supervisor.async_fd flight.f_async) ready then
-                    match Supervisor.async_step flight.f_async with
+                    match
+                      Tracectx.with_ctx flight.f_req.q_ctx (fun () ->
+                          Supervisor.async_step flight.f_async)
+                    with
                     | `Pending -> ()
                     | `Done result -> on_worker_done st flight result now)
                 st.flights;
@@ -894,6 +989,7 @@ let run cfg h =
         end
       done;
       let reason = Option.get !finished in
+      write_metrics st (Unix.gettimeofday ());
       jn Journal.Server_stopped
         (("reason", match reason with Tripped -> "breaker" | Drained -> "drained")
         :: final_stats st);

@@ -40,7 +40,15 @@
     distribution), so [_runs/serve-<ts>/] artifacts work with
     [cntpower stats]/[trace]/[compare] unchanged. A ["health"] verb is
     answered inline with uptime, queue depth, worker states and cache
-    warmth. *)
+    warmth, and a ["metrics"] verb — also inline, ahead of shedding, so
+    it works under load and while draining — returns a {!Metrics}
+    snapshot (request counts by verb and outcome, queue depth, in-flight
+    workers, latency distributions, cache hit ratios).
+
+    Every admitted request mints a {!Tracectx}: its journal events, the
+    forked worker's events, and the per-request telemetry subtree (under
+    [serve.request/trace:<id>]) all carry the same trace id, so
+    [cntpower trace --request <id>] can slice one request end-to-end. *)
 
 type config = {
   socket_path : string;
@@ -55,11 +63,17 @@ type config = {
   backoff_initial_s : float;  (** dispatch pause after a crash; doubles *)
   backoff_max_s : float;
   retry_after_s : float;  (** hint carried by [overloaded] responses *)
+  metrics_path : string option;
+      (** when set, a {!Metrics} snapshot is written atomically here at
+          least every [metrics_interval_s] while the loop runs (and once
+          on stop) — the [cntpower top] file source *)
+  metrics_interval_s : float;
 }
 
 val default_config : socket_path:string -> config
 (** 4 workers, queue 16, 8 MiB frames, 60 s deadline (cap 3600 s), 30 s
-    drain, breaker at 5 crashes / 60 s, backoff 0.05 s doubling to 2 s. *)
+    drain, breaker at 5 crashes / 60 s, backoff 0.05 s doubling to 2 s,
+    no metrics file (1 s interval when one is set). *)
 
 (** The domain logic, supplied by the caller so the server core stays
     generic (and testable with toy handlers). *)

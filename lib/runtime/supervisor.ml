@@ -83,6 +83,9 @@ let run_forked ~timeout_s ~name ~degraded f =
          the result, and _exit without running parent atexit handlers. *)
       Unix.close rd;
       Journal.begin_capture ();
+      (* The trace context rode the fork in process memory; derive a child
+         span so the worker's events link back to the spawning request. *)
+      Tracectx.set (Option.map Tracectx.child (Tracectx.current ()));
       let result = E.protect ~stage:E.Experiment (fun () -> f ~degraded) in
       let events = Journal.end_capture () in
       flush_all_output ();
@@ -205,6 +208,7 @@ let spawn_async ?telemetry_prefix ?(close_in_child = []) ~name f =
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
         close_in_child;
       Journal.begin_capture ();
+      Tracectx.set (Option.map Tracectx.child (Tracectx.current ()));
       let profiled = telemetry_prefix <> None && Telemetry.enabled () in
       if profiled then Telemetry.reset ();
       let result = E.protect ~stage:E.Experiment f in

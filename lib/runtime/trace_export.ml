@@ -6,8 +6,11 @@ let us s = s *. 1e6
 (* One X event per span node; children are laid out sequentially from the
    parent's start so the tree shape and the measured durations survive
    even though Telemetry aggregates by path rather than timestamping
-   individual calls. *)
-let rec span_events ~pid ~start (s : T.span) acc =
+   individual calls. A child whose name has its own anchor in [starts] —
+   a per-request [trace:<id>] subtree whose worker spawn the journal
+   timestamped — is promoted onto that track instead of being laid
+   inline, giving one causally-linked lane per request/shard. *)
+let rec span_events ~starts ~pid ~start (s : T.span) acc =
   let ev =
     J.Obj
       [
@@ -23,8 +26,13 @@ let rec span_events ~pid ~start (s : T.span) acc =
   in
   let acc, _ =
     List.fold_left
-      (fun (acc, cursor) child ->
-        (span_events ~pid ~start:cursor child acc, cursor +. child.T.total_s))
+      (fun (acc, cursor) (child : T.span) ->
+        match List.assoc_opt child.T.span_name starts with
+        | Some (cpid, cstart) when cpid <> pid ->
+            (span_events ~starts ~pid:cpid ~start:cstart child acc, cursor)
+        | _ ->
+            ( span_events ~starts ~pid ~start:cursor child acc,
+              cursor +. child.T.total_s ))
       (acc, start) s.T.children
   in
   ev :: acc
@@ -72,17 +80,30 @@ let to_trace ?(events = []) (p : T.profile) =
     | Some ev -> ev.Journal.ev_pid
     | None -> ( match events with ev :: _ -> ev.Journal.ev_pid | [] -> 0)
   in
-  (* First experiment_started wins: retries re-start the same experiment
-     and the merged span tree covers all attempts from the first. *)
+  (* Anchors for span subtrees, keyed by span name. Two sources: an
+     experiment's first [experiment_started] (first wins: retries
+     re-start the same experiment and the merged tree covers all
+     attempts), and a request/shard's [worker_spawned] carrying trace
+     fields — the latter anchors the [trace:<id>] telemetry subtree on
+     the worker's PID track. *)
   let starts =
     List.fold_left
       (fun acc ev ->
-        match
-          (ev.Journal.ev_kind, Journal.find ev "experiment")
-        with
-        | Journal.Experiment_started, Some exp
-          when not (List.mem_assoc exp acc) ->
-            (exp, (ev.Journal.ev_pid, ev.Journal.ev_time -. t0)) :: acc
+        match ev.Journal.ev_kind with
+        | Journal.Experiment_started -> (
+            match Journal.find ev "experiment" with
+            | Some exp when not (List.mem_assoc exp acc) ->
+                (exp, (ev.Journal.ev_pid, ev.Journal.ev_time -. t0)) :: acc
+            | _ -> acc)
+        | Journal.Worker_spawned -> (
+            match
+              ( Journal.find ev "trace",
+                Option.bind (Journal.find ev "worker_pid") int_of_string_opt )
+            with
+            | Some id, Some wpid when not (List.mem_assoc ("trace:" ^ id) acc)
+              ->
+                ("trace:" ^ id, (wpid, ev.Journal.ev_time -. t0)) :: acc
+            | _ -> acc)
         | _ -> acc)
       [] events
   in
@@ -98,9 +119,9 @@ let to_trace ?(events = []) (p : T.profile) =
     List.fold_left
       (fun (acc, cursor) (s : T.span) ->
         match List.assoc_opt s.T.span_name starts with
-        | Some (pid, start) -> (span_events ~pid ~start s acc, cursor)
+        | Some (pid, start) -> (span_events ~starts ~pid ~start s acc, cursor)
         | None ->
-            ( span_events ~pid:main_pid ~start:cursor s acc,
+            ( span_events ~starts ~pid:main_pid ~start:cursor s acc,
               cursor +. s.T.total_s ))
       ([], 0.0) p.T.p_spans
   in
@@ -113,3 +134,32 @@ let to_trace ?(events = []) (p : T.profile) =
 
 let save ~path ?events p =
   J.write_atomic ~path (J.json_to_string_compact (to_trace ?events p) ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Per-request slicing                                                 *)
+
+let resolve_trace_id ~events arg =
+  let has_trace id =
+    List.exists (fun ev -> Journal.find ev "trace" = Some id) events
+  in
+  if has_trace arg then Some arg
+  else
+    (* Not a trace id: try it as a request number and read the trace id
+       off any journal event of that request. *)
+    List.find_map
+      (fun ev ->
+        if Journal.find ev "request" = Some arg then Journal.find ev "trace"
+        else None)
+      events
+
+let rec collect_subtrees name acc (s : T.span) =
+  let acc = if s.T.span_name = name then s :: acc else acc in
+  List.fold_left (collect_subtrees name) acc s.T.children
+
+let slice ~trace_id ?(events = []) (p : T.profile) =
+  let label = "trace:" ^ trace_id in
+  let spans = List.rev (List.fold_left (collect_subtrees label) [] p.T.p_spans) in
+  let evs =
+    List.filter (fun ev -> Journal.find ev "trace" = Some trace_id) events
+  in
+  ({ T.p_spans = spans; p_counters = []; p_dists = [] }, evs)

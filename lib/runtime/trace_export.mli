@@ -30,3 +30,27 @@ val save :
   (unit, Cnt_error.t) result
 (** Atomic write of the compact rendering (same convention as
     {!Checkpoint.write_atomic}). *)
+
+(** {2 Per-request slicing}
+
+    Every daemon request / campaign shard / harness experiment mints a
+    {!Tracectx}, so its journal events carry [trace] fields and its
+    telemetry subtree is rooted at a span named [trace:<id>]. These
+    helpers cut one request's story out of a shared run directory
+    ([cntpower trace --request <id>]). *)
+
+val resolve_trace_id :
+  events:Journal.event list -> string -> string option
+(** Accepts either a trace id (any event carries it verbatim) or a
+    request number (the [request] journal field); returns the trace id,
+    or [None] when the journal knows nothing about the argument. *)
+
+val slice :
+  trace_id:string ->
+  ?events:Journal.event list ->
+  Telemetry.profile ->
+  Telemetry.profile * Journal.event list
+(** The sub-profile (every [trace:<id>] subtree, promoted to top level;
+    counters and dists are run-global, so dropped) and only the events
+    stamped with that trace — ready to pass to {!to_trace}/{!save}, where
+    the subtree anchors on its worker's PID track. *)

@@ -1,0 +1,57 @@
+type t = {
+  trace_id : string;
+  span_id : string;
+  parent_id : string option;
+}
+
+(* One counter for both id kinds: uniqueness is all that matters, and a
+   shared atomic keeps minting race-free across domains. Forked children
+   inherit the counter value but stamp their own PID, so ids stay unique
+   across the worker tree without any coordination. *)
+let counter = Atomic.make 0
+let next () = Atomic.fetch_and_add counter 1 + 1
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current () = Domain.DLS.get key
+let set ctx = Domain.DLS.set key ctx
+
+let mint_root () =
+  let pid = Unix.getpid () in
+  {
+    trace_id = Printf.sprintf "t%d-%d" pid (next ());
+    span_id = Printf.sprintf "s%d-%d" pid (next ());
+    parent_id = None;
+  }
+
+let child ctx =
+  {
+    trace_id = ctx.trace_id;
+    span_id = Printf.sprintf "s%d-%d" (Unix.getpid ()) (next ());
+    parent_id = Some ctx.span_id;
+  }
+
+let with_ctx ctx f =
+  let saved = current () in
+  set (Some ctx);
+  Fun.protect ~finally:(fun () -> set saved) f
+
+let span_label ctx = "trace:" ^ ctx.trace_id
+
+let trace_of_label s =
+  let prefix = "trace:" in
+  let n = String.length prefix in
+  if String.length s > n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let to_fields ctx =
+  let base = [ ("trace", ctx.trace_id); ("span", ctx.span_id) ] in
+  match ctx.parent_id with
+  | None -> base
+  | Some p -> base @ [ ("parent", p) ]
+
+let of_fields fields =
+  match (List.assoc_opt "trace" fields, List.assoc_opt "span" fields) with
+  | Some trace_id, Some span_id ->
+      Some { trace_id; span_id; parent_id = List.assoc_opt "parent" fields }
+  | _ -> None

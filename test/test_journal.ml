@@ -61,17 +61,23 @@ let disabled_is_noop () =
 
 let disabled_zero_alloc () =
   Jn.set_enabled false;
-  Jn.emit Jn.Run_started [];
-  let before = Gc.minor_words () in
-  for _ = 1 to 10_000 do
-    Jn.emit Jn.Worker_spawned []
-  done;
-  let allocated = Gc.minor_words () -. before in
-  Alcotest.(check bool)
-    (Printf.sprintf "disabled emit allocates nothing (saw %.0f words)"
-       allocated)
-    true
-    (allocated < 100.0)
+  (* A live trace context must not reintroduce allocation: emit's guard
+     comes before any field building, trace stamping included. *)
+  Runtime.Tracectx.set (Some (Runtime.Tracectx.mint_root ()));
+  Fun.protect
+    ~finally:(fun () -> Runtime.Tracectx.set None)
+    (fun () ->
+      Jn.emit Jn.Run_started [];
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Jn.emit Jn.Worker_spawned []
+      done;
+      let allocated = Gc.minor_words () -. before in
+      Alcotest.(check bool)
+        (Printf.sprintf "disabled emit allocates nothing (saw %.0f words)"
+           allocated)
+        true
+        (allocated < 100.0))
 
 (* --- sink and ordering --------------------------------------------- *)
 
@@ -82,7 +88,7 @@ let seq_is_monotonic =
         ~finally:(fun () -> rm_rf dir)
         (fun () ->
           let path = Filename.concat dir "events.jsonl" in
-          E.get_exn (Jn.open_sink ~path);
+          E.get_exn (Jn.open_sink ~path ());
           Jn.emit Jn.Run_started [ ("run", "t") ];
           Jn.emit ~level:Jn.Debug Jn.Experiment_started
             [ ("experiment", "a") ];
@@ -117,7 +123,7 @@ let fields_and_levels_survive =
         ~finally:(fun () -> rm_rf dir)
         (fun () ->
           let path = Filename.concat dir "events.jsonl" in
-          E.get_exn (Jn.open_sink ~path);
+          E.get_exn (Jn.open_sink ~path ());
           Jn.emit ~level:Jn.Warn Jn.Golden_drift
             [
               ("experiment", "table1");
@@ -162,7 +168,7 @@ let corrupt_lines_are_skipped =
         ~finally:(fun () -> rm_rf dir)
         (fun () ->
           let path = Filename.concat dir "events.jsonl" in
-          E.get_exn (Jn.open_sink ~path);
+          E.get_exn (Jn.open_sink ~path ());
           Jn.emit Jn.Run_started [ ("run", "t") ];
           Jn.emit Jn.Run_finished [];
           Jn.close_sink ();
@@ -199,7 +205,7 @@ let worker_events_merge =
         ~finally:(fun () -> rm_rf dir)
         (fun () ->
           let path = Filename.concat dir "events.jsonl" in
-          E.get_exn (Jn.open_sink ~path);
+          E.get_exn (Jn.open_sink ~path ());
           let parent_pid = Unix.getpid () in
           Jn.emit Jn.Run_started [ ("run", "fork") ];
           let outcome =
@@ -260,7 +266,7 @@ let timeout_is_journaled =
         ~finally:(fun () -> rm_rf dir)
         (fun () ->
           let path = Filename.concat dir "events.jsonl" in
-          E.get_exn (Jn.open_sink ~path);
+          E.get_exn (Jn.open_sink ~path ());
           let outcome =
             S.run
               ~policy:{ S.timeout_s = 0.2; retries = 0; degrade = false }
@@ -409,6 +415,81 @@ let trace_save_roundtrip () =
       | Result.Error e -> Alcotest.failf "saved trace unparseable: %s"
             (E.to_string e))
 
+(* --- size-based rotation ------------------------------------------- *)
+
+let emit_n n =
+  for i = 1 to n do
+    Jn.emit ~level:Jn.Debug Jn.Checkpoint_written
+      [ ("path", Printf.sprintf "padding-to-make-the-line-longer-%04d" i) ]
+  done
+
+let rotation_preserves_events =
+  fresh (fun () ->
+      let dir = temp_dir "journal" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let path = Filename.concat dir "events.jsonl" in
+          (* A limit small enough to force a handful of rotations but a
+             keep budget large enough that nothing is evicted: every
+             event must survive, in emission order, across segments. *)
+          E.get_exn (Jn.open_sink ~max_bytes:2048 ~keep:50 ~path ());
+          emit_n 200;
+          Jn.close_sink ();
+          Alcotest.(check bool) "rotated at least once" true
+            (Sys.file_exists (path ^ ".1"));
+          let events, skipped = load_ok path in
+          Alcotest.(check int) "no torn lines across segments" 0 skipped;
+          Alcotest.(check int) "every event survives rotation" 200
+            (List.length events);
+          let seqs = List.map (fun e -> e.Jn.ev_seq) events in
+          Alcotest.(check bool)
+            "segments concatenate oldest-first (seq increasing)" true
+            (List.sort_uniq compare seqs = seqs)))
+
+let rotation_evicts_past_keep =
+  fresh (fun () ->
+      let dir = temp_dir "journal" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let path = Filename.concat dir "events.jsonl" in
+          E.get_exn (Jn.open_sink ~max_bytes:1024 ~keep:2 ~path ());
+          emit_n 300;
+          Jn.close_sink ();
+          Alcotest.(check bool) ".1 kept" true (Sys.file_exists (path ^ ".1"));
+          Alcotest.(check bool) ".2 kept" true (Sys.file_exists (path ^ ".2"));
+          Alcotest.(check bool) ".3 evicted" false
+            (Sys.file_exists (path ^ ".3"));
+          (* The retained window still loads clean and stays ordered —
+             the oldest events are gone, not mangled. *)
+          let events, skipped = load_ok path in
+          Alcotest.(check int) "retained segments parse clean" 0 skipped;
+          Alcotest.(check bool) "something was evicted" true
+            (List.length events < 300);
+          let seqs = List.map (fun e -> e.Jn.ev_seq) events in
+          Alcotest.(check bool) "retained window is contiguous" true
+            (match seqs with
+            | [] -> false
+            | first :: _ ->
+                seqs = List.init (List.length seqs) (fun i -> first + i))))
+
+let no_rotation_without_limit =
+  fresh (fun () ->
+      let dir = temp_dir "journal" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let path = Filename.concat dir "events.jsonl" in
+          E.get_exn (Jn.open_sink ~path ());
+          emit_n 200;
+          Jn.close_sink ();
+          Alcotest.(check bool) "no segment without max_bytes" false
+            (Sys.file_exists (path ^ ".1"));
+          let events, _ = load_ok path in
+          Alcotest.(check int) "single file holds everything" 200
+            (List.length events)))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "journal"
@@ -433,6 +514,13 @@ let () =
         [
           tc "worker events merge through the pipe" worker_events_merge;
           tc "timeouts are journaled" timeout_is_journaled;
+        ] );
+      ( "rotation",
+        [
+          tc "rotation preserves order across segments"
+            rotation_preserves_events;
+          tc "keep budget evicts oldest segments" rotation_evicts_past_keep;
+          tc "no limit, no rotation" no_rotation_without_limit;
         ] );
       ( "trace",
         [

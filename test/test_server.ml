@@ -92,7 +92,7 @@ let start_server ?journal ?(tweak = fun c -> c) () =
     | None -> ()
     | Some path ->
         Jn.set_enabled true;
-        ignore (Jn.open_sink ~path));
+        ignore (Jn.open_sink ~path ()));
     let code =
       match Sv.run cfg handlers with
       | Ok Sv.Drained -> exit_drained
